@@ -1,0 +1,100 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark compiles kernels through up to four paths -- AKG, the
+TVM-style baseline, expert CCE and naive CCE -- and reports *simulated
+execution cycles*, the unit the paper's figures use.  Results are cached
+per (path, kernel-signature) because networks repeat shapes heavily.
+
+Set ``REPRO_FULL=1`` to run the complete configuration grids of the paper
+(10 shapes per operator, all 41 GEMM shapes, all five networks); the
+default grids are representative subsets that finish in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+_cycle_cache: Dict[Tuple, int] = {}
+
+
+def akg_cycles(outputs, name: str = "k") -> int:
+    """Simulated cycles of the AKG compilation path."""
+    from repro.core.compiler import build
+
+    return build(outputs, name).cycles()
+
+
+def tvm_cycles(outputs, name: str = "k") -> int:
+    """Simulated cycles of the TVM-baseline path."""
+    from repro.tvmbaseline.compiler import tvm_build
+
+    return tvm_build(outputs, name).cycles()
+
+
+def expert_cycles(outputs, name: str = "k") -> int:
+    """Simulated cycles of the expert (optimized CCE / vendor) path."""
+    from repro.cce import cce_expert_build
+
+    return cce_expert_build(outputs, name).cycles()
+
+
+def naive_cycles(outputs, name: str = "k") -> int:
+    """Simulated cycles of the naive CCE path."""
+    from repro.cce import cce_naive_build
+
+    return cce_naive_build(outputs, name).cycles()
+
+
+BACKENDS: Dict[str, Callable] = {
+    "cce_naive": naive_cycles,
+    "cce_opt": expert_cycles,
+    "tvm": tvm_cycles,
+    "akg": akg_cycles,
+}
+
+
+def cached_cycles(path: str, signature: Tuple, builder: Callable[[], object]) -> int:
+    """Compile+simulate once per (path, signature)."""
+    key = (path, signature)
+    if key not in _cycle_cache:
+        _cycle_cache[key] = BACKENDS[path](builder(), f"{path}_kernel")
+    return _cycle_cache[key]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's aggregation for speedups)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(np.exp(np.log(arr).mean()))
+
+
+def speedup_table(
+    rows: List[Tuple[str, Dict[str, int]]], baseline: str = "akg"
+) -> str:
+    """Render normalised speedups (baseline cycles / path cycles)."""
+    paths = sorted({p for _, cycles in rows for p in cycles})
+    header = f"{'case':<22}" + "".join(f"{p:>12}" for p in paths)
+    lines = [header, "-" * len(header)]
+    for case, cycles in rows:
+        base = cycles[baseline]
+        line = f"{case:<22}"
+        for p in paths:
+            line += f"{base / cycles[p]:>12.3f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def run_once(benchmark, fn):
+    """Attach a single-shot measurement to pytest-benchmark.
+
+    The interesting output is the simulated cycle data (stored in
+    ``benchmark.extra_info``), not the harness wall time, so one round is
+    enough.
+    """
+    if benchmark is None:
+        return fn()
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,135 @@
+"""Ablations of AKG's design choices (per DESIGN.md).
+
+Not a paper figure: these isolate the contribution of each mechanism the
+paper argues for, on workloads where it should matter.
+
+1. post-tiling fusion on/off           (Sec. 4.3 -- extension nodes)
+2. DP vs empirical vs naive sync       (Sec. 5.2)
+3. double buffering on/off             (Sec. 5.2 -- latency hiding)
+4. fractal alignment: aligned vs ragged GEMM shapes (Sec. 4.5)
+5. Auto Tiling vs the ML-guided auto-tuner (Sec. 5.3)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import run_once
+from repro.core.compiler import AkgOptions, build
+from repro.ir import ops
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
+
+
+def stencil_chain():
+    """The paper's running-example pattern at a DMA-relevant size."""
+    a = placeholder((512, 512), dtype="fp16", name="A")
+    a1 = ops.scalar_add(a, 1.0, name="pre")
+    kh = reduce_axis((0, 3), "kh")
+    kw = reduce_axis((0, 3), "kw")
+    b = placeholder((3, 3), dtype="fp16", name="B")
+    c = compute(
+        (510, 510),
+        lambda h, w: te_sum(a1[h + kh, w + kw] * b[kh, kw], axis=(kh, kw)),
+        name="conv",
+    )
+    return ops.relu(c, name="out")
+
+
+def test_ablation_post_tiling_fusion(benchmark):
+    """Extension-node fusion removes the producer's GM round trip."""
+
+    def compute_():
+        fused = build(stencil_chain(), "f").cycles()
+        unfused = build(
+            stencil_chain(), "u", options=AkgOptions(post_tiling_fusion=False)
+        ).cycles()
+        return fused, unfused
+
+    fused, unfused = run_once(benchmark, compute_)
+    print(f"\n[Ablation] post-tiling fusion: on={fused}, off={unfused}, "
+          f"benefit={unfused / fused:.2f}x")
+    if benchmark is not None:
+        benchmark.extra_info["benefit"] = unfused / fused
+    assert fused < unfused
+
+
+def test_ablation_sync_policy(benchmark):
+    """dp <= empirical <= naive on a pipeline-balanced kernel."""
+    a = placeholder((512, 512), dtype="fp16", name="A")
+    b = placeholder((512, 512), dtype="fp16", name="B")
+    mm = ops.matmul(a, b, name="MM")
+
+    def compute_():
+        return {
+            policy: build(mm, policy, options=AkgOptions(sync_policy=policy)).cycles()
+            for policy in ("dp", "empirical", "naive")
+        }
+
+    cycles = run_once(benchmark, compute_)
+    print(f"\n[Ablation] sync policy: {cycles}")
+    if benchmark is not None:
+        benchmark.extra_info.update(cycles)
+    assert cycles["dp"] <= cycles["empirical"] <= cycles["naive"]
+
+
+def test_ablation_double_buffering(benchmark):
+    """Latency hiding overlaps DMA with compute across tiles."""
+    x = placeholder((1024, 1024), dtype="fp16", name="X")
+    t = ops.sigmoid(ops.scalar_mul(x, 2.0, name="S"), name="OUT")
+
+    def compute_():
+        on = build(t, "db", options=AkgOptions(double_buffer=True)).cycles()
+        off = build(t, "nodb", options=AkgOptions(double_buffer=False)).cycles()
+        return on, off
+
+    on, off = run_once(benchmark, compute_)
+    print(f"\n[Ablation] double buffering: on={on}, off={off}, "
+          f"benefit={off / on:.2f}x")
+    if benchmark is not None:
+        benchmark.extra_info["benefit"] = off / on
+    assert on < off
+
+
+def test_ablation_fractal_alignment(benchmark):
+    """Ragged GEMM extents pay fractal padding (Sec. 4.5, Fig. 7)."""
+
+    def gemm(n):
+        a = placeholder((n, n), dtype="fp16", name="A")
+        b = placeholder((n, n), dtype="fp16", name="B")
+        return ops.matmul(a, b, name=f"mm{n}")
+
+    def compute_():
+        aligned = build(gemm(512), "al").cycles()
+        ragged = build(gemm(520), "rg").cycles()  # 520 = 512 + 8: pads to 528
+        return aligned, ragged
+
+    aligned, ragged = run_once(benchmark, compute_)
+    useful_ratio = (520 / 512) ** 3
+    print(f"\n[Ablation] fractal alignment: 512^3={aligned}, 520^3={ragged}, "
+          f"ratio={ragged / aligned:.3f} (work ratio {useful_ratio:.3f})")
+    if benchmark is not None:
+        benchmark.extra_info["ratio"] = ragged / aligned
+    # The ragged shape costs more than its useful-work ratio alone.
+    assert ragged / aligned > useful_ratio * 0.95
+
+
+def test_ablation_auto_tuner_vs_auto_tiling(benchmark):
+    """Sec. 5.3: the tuner usually matches or beats analytic Auto Tiling."""
+    from repro.autotune import tune_tile_sizes
+
+    x = placeholder((512, 384), dtype="fp16", name="X")
+    t = ops.tanh_op(x, name="OUT")
+
+    def compute_():
+        auto = build(t, "auto").cycles()
+        _, history = tune_tile_sizes(
+            t, "tuned", first_round=8, round_size=4, max_rounds=2
+        )
+        tuned = min(r.cycles for r in history)
+        return auto, tuned
+
+    auto, tuned = run_once(benchmark, compute_)
+    print(f"\n[Ablation] auto-tiling={auto} vs tuner best={tuned}")
+    if benchmark is not None:
+        benchmark.extra_info.update({"auto": auto, "tuned": tuned})
+    assert tuned <= auto * 1.01

@@ -1,0 +1,140 @@
+"""Fig. 10: lines-of-code comparison for three important operators.
+
+The paper compares the development cost of three operator implementations:
+the hand-written optimized CCE kernel, the TVM schedule template, and the
+AKG DSL expression.  We measure the equivalent artefacts of this
+repository:
+
+- **CCE opt**: the CCE kernel text a vendor engineer must write by hand.
+  A library kernel must cover *many shape configurations* (the paper
+  stresses manual code "fails to scale with different shape
+  configurations"), so we emit the specialised kernel for several
+  representative shapes and sum them -- the union of cases a hand-written
+  generic kernel embeds as branches.
+- **TVM**: what a template author writes: the compute DSL plus the
+  schedule template.
+- **AKG**: only the compute DSL (scheduling is fully automatic).
+
+Expected shape: CCE >> TVM > AKG.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict
+
+import pytest
+
+from benchmarks.common import run_once
+from repro.ir import ops
+from repro.ir.tensor import placeholder
+from repro.tvmbaseline import templates
+
+# What a user literally writes in the te DSL (cf. Fig. 3a of the paper).
+DSL_SNIPPETS = {
+    "conv2d": '''
+D = placeholder((16, 64, 28, 28), "fp16", "D")
+W = placeholder((64, 64, 3, 3), "fp16", "W")
+rc = reduce_axis((0, 64), "rc")
+rkh = reduce_axis((0, 3), "rkh")
+rkw = reduce_axis((0, 3), "rkw")
+C = compute((16, 64, 28, 28), lambda n, o, h, w: te_sum(
+    D[n, rc, h + rkh - 1, w + rkw - 1] * W[o, rc, rkh, rkw],
+    axis=(rc, rkh, rkw)), name="conv")
+''',
+    "matmul": '''
+A = placeholder((512, 512), "fp16", "A")
+B = placeholder((512, 512), "fp16", "B")
+k = reduce_axis((0, 512), "k")
+C = compute((512, 512), lambda i, j: te_sum(A[i, k] * B[k, j], axis=k),
+            name="matmul")
+''',
+    "relu": '''
+X = placeholder((16, 64, 28, 28), "fp16", "X")
+R = compute(X.shape, lambda *i: relu(X[i]), name="relu")
+''',
+}
+
+# Shape configurations a hand-written library kernel must cover.
+_CCE_SHAPE_CASES = {
+    "conv2d": [(32, 28, 3), (64, 28, 3), (64, 14, 1), (32, 56, 5)],
+    "matmul": [(256, 256), (512, 512), (1024, 512), (768, 1024)],
+    "relu": [(64, 28), (128, 14), (32, 56), (96, 7)],
+}
+
+
+def _snippet_loc(name: str) -> int:
+    return sum(1 for ln in DSL_SNIPPETS[name].splitlines() if ln.strip())
+
+
+def _template_loc(fn) -> int:
+    lines = inspect.getsource(fn).splitlines()
+    return sum(
+        1
+        for ln in lines
+        if ln.strip() and not ln.strip().startswith(("#", '"""', "'''"))
+    )
+
+
+def _emitted_loc(outputs) -> int:
+    from repro.core.compiler import build
+
+    code = build(outputs, "loc_probe").cce_code()
+    body = code.split("/* schedule-tree AST")[0]
+    return sum(1 for ln in body.splitlines() if ln.strip())
+
+
+def _cce_loc(name: str) -> int:
+    total = 0
+    for case in _CCE_SHAPE_CASES[name]:
+        if name == "conv2d":
+            c, s, k = case
+            d = placeholder((16, c, s, s), dtype="fp16", name="D")
+            w = placeholder((c, c, k, k), dtype="fp16", name="W")
+            t = ops.conv2d(d, w, padding=(k // 2, k // 2), name="conv")
+        elif name == "matmul":
+            m, n = case
+            a = placeholder((m, n), dtype="fp16", name="A")
+            b = placeholder((n, m), dtype="fp16", name="B")
+            t = ops.matmul(a, b, name="mm")
+        else:
+            c, s = case
+            x = placeholder((16, c, s, s), dtype="fp16", name="X")
+            t = ops.relu(x, name="relu")
+        total += _emitted_loc(t)
+    return total
+
+
+_TEMPLATES = {
+    "conv2d": templates.conv2d_template,
+    "matmul": templates.matmul_template,
+    "relu": templates.elementwise_template,
+}
+
+
+def test_fig10_lines_of_code(benchmark):
+    """LoC of each development style per operator (lower is better)."""
+
+    def compute() -> Dict[str, Dict[str, int]]:
+        table = {}
+        for name in ("conv2d", "matmul", "relu"):
+            dsl = _snippet_loc(name)
+            table[name] = {
+                "cce_opt": _cce_loc(name),
+                "tvm": dsl + _template_loc(_TEMPLATES[name]),
+                "akg": dsl,
+            }
+        return table
+
+    table = run_once(benchmark, compute)
+    print("\n[Fig10] lines of code (lower is better)")
+    print(f"  {'operator':<10}{'CCE opt':>10}{'TVM':>10}{'AKG':>10}")
+    for name, row in table.items():
+        print(f"  {name:<10}{row['cce_opt']:>10}{row['tvm']:>10}{row['akg']:>10}")
+    if benchmark is not None:
+        for name, row in table.items():
+            for k, v in row.items():
+                benchmark.extra_info[f"{name}_{k}"] = v
+
+    for name, row in table.items():
+        assert row["cce_opt"] > row["tvm"] > row["akg"], name

@@ -1,0 +1,59 @@
+"""Fig. 11: GEMM execution cycles across 41 shape configurations.
+
+The paper sweeps square GEMMs from (64, 64) to (4608, 4608), comparing
+AKG against the TVM baseline: both scale similarly, AKG's DP-grouped
+synchronisation gives it fewer cycles on most configurations (29 of 41
+in the paper), with TVM winning a handful through its manual padding.
+
+Default grid: every 4th shape; set ``REPRO_FULL=1`` for all 41.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from benchmarks.common import FULL, cached_cycles, run_once
+from repro.ir import ops
+from repro.ir.tensor import placeholder
+
+ALL_SIZES = [64 + round(k * (4608 - 64) / 40 / 16) * 16 for k in range(41)]
+SIZES = ALL_SIZES if FULL else ALL_SIZES[::4]
+
+
+def _gemm(n: int):
+    a = placeholder((n, n), dtype="fp16", name="A")
+    b = placeholder((n, n), dtype="fp16", name="B")
+    return ops.matmul(a, b, name=f"gemm{n}")
+
+
+def test_fig11_gemm_sweep(benchmark):
+    """Cycles per shape for AKG and TVM (lower is better)."""
+
+    def compute() -> List[Tuple[int, int, int]]:
+        rows = []
+        for n in SIZES:
+            akg = cached_cycles("akg", ("gemm", n), lambda: _gemm(n))
+            tvm = cached_cycles("tvm", ("gemm", n), lambda: _gemm(n))
+            rows.append((n, akg, tvm))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print("\n[Fig11] GEMM cycles (lower is better; 1 us = 1e3 cycles)")
+    print(f"  {'shape':>8}{'AKG':>14}{'TVM':>14}{'TVM/AKG':>10}")
+    wins = 0
+    for n, akg, tvm in rows:
+        mark = "*" if akg <= tvm else " "
+        wins += akg <= tvm
+        print(f"  {n:>8}{akg:>14}{tvm:>14}{tvm / akg:>10.3f} {mark}")
+    print(f"  AKG wins {wins} / {len(rows)} configurations")
+    if benchmark is not None:
+        benchmark.extra_info["akg_wins"] = wins
+        benchmark.extra_info["configs"] = len(rows)
+
+    # Paper shape: similar scaling, AKG ahead on the majority of shapes.
+    assert wins >= len(rows) * 0.6
+    # Similar fluctuation: no shape is off by more than ~2x either way.
+    for n, akg, tvm in rows:
+        assert 0.5 < tvm / akg < 2.0, f"shape {n} diverges"

@@ -1,0 +1,76 @@
+"""Fig. 12: performance of the five fused subgraphs.
+
+Three versions per subgraph -- hand-optimized CCE (per-operator kernels,
+no cross-op fusion), the TVM baseline, and AKG -- normalised to AKG.
+
+Paper findings reproduced in shape:
+
+- AKG is the best version on every subgraph;
+- AKG beats TVM by ~1.3x mean, with the big wins on subgraph1 and
+  subgraph5 (the chains containing a stencil producer, which need AKG's
+  complex tile shapes / post-tiling fusion);
+- AKG beats the per-operator expert code by a large factor (~5.6x in the
+  paper) because fused chains keep intermediates on chip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from benchmarks.common import cached_cycles, geomean, run_once
+from repro.graph.subgraphs import paper_subgraphs
+
+PATHS = ["cce_opt", "tvm", "akg"]
+
+
+def _measure(row) -> Dict[str, int]:
+    return {
+        p: cached_cycles(p, ("fig12", row.index), row.build) for p in PATHS
+    }
+
+
+@pytest.mark.parametrize("index", [1, 2, 3, 4, 5])
+def test_fig12_subgraph(benchmark, index):
+    row = paper_subgraphs()[index - 1]
+    cycles = run_once(benchmark, lambda: _measure(row))
+    speedups = {p: cycles["akg"] / cycles[p] for p in PATHS}
+    print(
+        f"\n[Fig12] {row.name} ({row.n_ops} ops, {row.precision}): "
+        + "  ".join(f"{p}={speedups[p]:.3f}" for p in PATHS)
+    )
+    if benchmark is not None:
+        benchmark.extra_info.update({f"speedup_{p}": v for p, v in speedups.items()})
+    # AKG is the best version on every subgraph.
+    assert all(speedups[p] <= 1.0 + 1e-9 for p in PATHS)
+
+
+def test_fig12_summary(benchmark):
+    def compute():
+        results = {}
+        for row in paper_subgraphs():
+            cycles = _measure(row)
+            results[row.name] = {p: cycles["akg"] / cycles[p] for p in PATHS}
+        return results
+
+    results = run_once(benchmark, compute)
+    means = {p: geomean([r[p] for r in results.values()]) for p in PATHS}
+    print("\n[Fig12] speedup vs AKG (higher is better, AKG = 1.0)")
+    for name, r in results.items():
+        print(f"  {name:<12}" + "".join(f"{r[p]:>12.3f}" for p in PATHS))
+    print("  " + "-" * 48)
+    print(f"  {'geomean':<12}" + "".join(f"{means[p]:>12.3f}" for p in PATHS))
+    if benchmark is not None:
+        benchmark.extra_info.update({f"geomean_{p}": v for p, v in means.items()})
+
+    # The paper's ordering: AKG > TVM > expert CCE, by large margins on
+    # the expert side (paper: 5.6x mean; the simulator's per-tile DMA
+    # latency floor narrows the gap -- see EXPERIMENTS.md -- so the
+    # assertion checks the ordering and a conservative factor).
+    assert means["tvm"] < 1.0
+    assert means["cce_opt"] < means["tvm"]
+    assert 1.0 / means["cce_opt"] > 1.8, "expert trails AKG by a large factor"
+    # The stencil subgraphs are where AKG pulls ahead of TVM.
+    assert results["subgraph1"]["tvm"] < 0.9
+    assert results["subgraph5"]["tvm"] < 0.9

@@ -1,0 +1,45 @@
+"""Table 1: summary of the five fused subgraphs.
+
+Prints the table verbatim from the subgraph definitions and verifies
+that each builder actually produces the advertised operator counts,
+precision and shapes -- the same bookkeeping the paper's table records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import run_once
+from repro.graph.subgraphs import paper_subgraphs
+
+
+def test_table1_summary(benchmark):
+    rows = run_once(benchmark, paper_subgraphs)
+    print("\n[Table 1] summary of the subgraphs")
+    print(
+        f"  {'no.':<5}{'# of ops':<10}{'precision':<11}{'batch':<7}"
+        f"{'input shape':<20}{'output shape':<20}"
+    )
+    for row in rows:
+        print(
+            f"  {row.index:<5}{row.n_ops:<10}{row.precision:<11}{row.batch:<7}"
+            f"{str(row.input_shape):<20}{str(row.output_shape):<20}"
+        )
+
+    assert [r.n_ops for r in rows] == [6, 21, 15, 11, 9]
+    assert [r.precision for r in rows] == ["FP16", "FP16", "FP32", "FP32", "FP16"]
+    assert rows[0].input_shape == (16, 16, 512, 512)
+    assert rows[1].input_shape == (256, 512, 16, 16)
+    assert rows[2].input_shape == (30522, 1024)
+    assert rows[3].input_shape == (1024, 1024)
+    assert rows[4].input_shape == (64, 1, 16, 16)
+
+    for row in rows:
+        outs = row.build()
+        computed = {
+            id(t)
+            for o in outs
+            for t in o.ancestors()
+            if not t.is_placeholder
+        }
+        assert len(computed) == row.n_ops, row.name

@@ -1,0 +1,72 @@
+"""The paper's running example (Fig. 3): post-tiling fusion in action.
+
+A bias addition feeds a 2-D convolution followed by two vector operators.
+The convolution reads the bias-added map with a sliding window, so fusing
+it needs *overlapped* producer tiles -- exactly what AKG's reverse tiling
+strategy plus extension nodes provide (Sec. 4.2-4.3), and what the
+classic pre-tiling fusion of other compilers cannot express.
+
+Run:  python examples/conv_fusion.py
+"""
+
+import numpy as np
+
+from repro.core.compiler import AkgOptions, build
+from repro.ir import ops
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
+from repro.runtime.reference import evaluate_tensors
+
+
+def running_example(H=66, W=66, KH=3, KW=3):
+    a = placeholder((H, W), dtype="fp16", name="A")
+    a1 = ops.scalar_add(a, 1.0, name="A1")  # S0: bias
+    b = placeholder((KH, KW), dtype="fp16", name="B")
+    kh = reduce_axis((0, KH), "kh")
+    kw = reduce_axis((0, KW), "kw")
+    c = compute(  # S1 (init) + S2 (update): the convolution
+        (H - KH + 1, W - KW + 1),
+        lambda h, w: te_sum(a1[h + kh, w + kw] * b[kh, kw], axis=(kh, kw)),
+        name="C",
+    )
+    c1 = ops.abs_op(c, name="C1")  # S3
+    return ops.relu(c1, name="C2")  # S4
+
+
+def main():
+    out = running_example()
+
+    fused = build(out, "fused", options=AkgOptions(emit_trace=True))
+    unfused = build(
+        out, "unfused", options=AkgOptions(post_tiling_fusion=False)
+    )
+
+    print("=== schedule tree after post-tiling fusion (cf. Fig. 3e) ===")
+    print(fused.tree.render())
+
+    group = fused.groups[-1]
+    print("\nfused tile nest:")
+    print("  tile sizes :", group.tile_sizes)
+    print("  tile counts:", group.tile_counts)
+    print("  producers fused via extension node:", group.fused_producer_ids)
+    print("  overlapped producer instances per tile:",
+          group.instance_extents("S0"))
+
+    f_cycles, u_cycles = fused.cycles(), unfused.cycles()
+    print(f"\ncycles with post-tiling fusion   : {f_cycles}")
+    print(f"cycles without (separate nests)  : {u_cycles}")
+    print(f"fusion benefit                   : {u_cycles / f_cycles:.2f}x")
+
+    # Verify numerics against the reference executor.
+    rng = np.random.default_rng(1)
+    inputs = {
+        "A": rng.standard_normal((66, 66)).astype(np.float16),
+        "B": rng.standard_normal((3, 3)).astype(np.float16),
+    }
+    ref = evaluate_tensors(out, inputs)["C2"]
+    got = fused.execute(inputs)["C2"]
+    np.testing.assert_allclose(got, ref, rtol=2e-2, atol=1e-2)
+    print("\nfused execution matches the reference - OK")
+
+
+if __name__ == "__main__":
+    main()

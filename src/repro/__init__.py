@@ -1,0 +1,28 @@
+"""AKG (PLDI 2021) reproduction: automatic kernel generation for NPUs.
+
+Top-level layout:
+
+- :mod:`repro.ir`          -- tensor-expression DSL, operators, lowering
+- :mod:`repro.poly`        -- polyhedral substrate (sets, maps, exact ILP)
+- :mod:`repro.sched`       -- schedule trees, dependences, Pluto scheduler
+- :mod:`repro.tiling`      -- tiling, the reverse strategy, Auto Tiling
+- :mod:`repro.fusion`      -- post-tiling and intra-tile fusion
+- :mod:`repro.storage`     -- buffer promotion across the memory hierarchy
+- :mod:`repro.conv`        -- img2col and fractal GEMM transformations
+- :mod:`repro.codegen`     -- virtual-ISA emission, sync, CCE text, replay
+- :mod:`repro.hw`          -- the simulated DaVinci NPU
+- :mod:`repro.core`        -- the end-to-end compiler driver (akg.build)
+- :mod:`repro.autotune`    -- the ML-guided tile-size tuner
+- :mod:`repro.tvmbaseline` -- the TVM-style manual-schedule baseline
+- :mod:`repro.cce`         -- expert / naive hand-written baselines
+- :mod:`repro.graph`       -- graph engine, Table 1 subgraphs, networks
+- :mod:`repro.runtime`     -- the numpy reference executor (oracle)
+
+Entry point::
+
+    from repro.core.compiler import build
+    result = build(tensor_outputs, "kernel_name")
+    result.cycles()          # simulated NPU cycles
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,61 @@
+"""The learning model guiding the tuner's second-round sampling.
+
+A deliberately small model: ridge regression over log-scaled tile sizes
+and simple interaction features, fit with numpy.  It only has to *rank*
+neighbouring candidates well enough to point the random walk "towards
+higher performance in the learning model" (Sec. 5.3), not to predict
+absolute cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class PerformanceModel:
+    """Ridge regression on log2(size) features predicting log(cycles)."""
+
+    def __init__(self, ridge: float = 1e-3):
+        self.ridge = ridge
+        self.weights: Optional[np.ndarray] = None
+
+    def _features(self, sizes: Sequence[int]) -> np.ndarray:
+        x = np.log2(np.asarray(sizes, dtype=np.float64) + 1.0)
+        feats = [np.ones(1), x, x * x, np.array([x.sum()]), np.array([x.prod()])]
+        return np.concatenate(feats)
+
+    def fit(self, samples: Sequence[Sequence[int]], cycles: Sequence[float]) -> None:
+        """Fit from measured (sizes, cycles) pairs."""
+        if len(samples) < 2:
+            self.weights = None
+            return
+        X = np.stack([self._features(s) for s in samples])
+        y = np.log(np.asarray(cycles, dtype=np.float64) + 1.0)
+        A = X.T @ X + self.ridge * np.eye(X.shape[1])
+        self.weights = np.linalg.solve(A, X.T @ y)
+
+    def predict(self, sizes: Sequence[int]) -> float:
+        """Predicted log-cycles (lower is better); +inf when unfit."""
+        if self.weights is None:
+            return float("inf")
+        return float(self._features(sizes) @ self.weights)
+
+    def better_neighbour(
+        self, sizes: Sequence[int], ladders: Sequence[Sequence[int]]
+    ) -> List[int]:
+        """One step towards predicted-higher performance."""
+        best = list(sizes)
+        best_score = self.predict(sizes)
+        for d in range(len(sizes)):
+            ladder = ladders[d]
+            idx = ladder.index(sizes[d]) if sizes[d] in ladder else 0
+            for nxt in (idx - 1, idx + 1):
+                if 0 <= nxt < len(ladder):
+                    trial = list(sizes)
+                    trial[d] = ladder[nxt]
+                    score = self.predict(trial)
+                    if score < best_score:
+                        best, best_score = trial, score
+        return best

@@ -1,0 +1,167 @@
+"""The two-round ML-guided auto-tuner of Sec. 5.3.
+
+Procedure, following the paper:
+
+1. build the tuning space of valid tiling parameters (power-of-two
+   ladders per live-out band dimension, validated by the exact storage
+   plan at measurement time);
+2. draw a first round of random samples and measure each (simulated
+   cycles);
+3. train the learning model on the measurements;
+4. each second-round sample derives from one of the ``N`` (=64) best
+   first-round samples by moving a random step towards higher predicted
+   performance with probability ``p``, or is drawn uniformly from the
+   space with probability ``1 - p``; ``p`` varies across iterations via a
+   formula with a predefined parameter (0.5), ranging from 0 towards
+   ``e``-saturation;
+5. repeat until the iteration budget is exhausted or no gain appears.
+
+The tuner is not meant to guarantee the optimum (the paper says as much)
+but usually beats the analytic Auto Tiling's data-movement heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.autotune.model import PerformanceModel
+
+
+class TuningRecord:
+    """One measured candidate."""
+
+    __slots__ = ("sizes", "cycles")
+
+    def __init__(self, sizes: List[int], cycles: float):
+        self.sizes = sizes
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"TuningRecord({self.sizes}, {self.cycles})"
+
+
+class AutoTuner:
+    """ML-guided sampling over tile-size vectors."""
+
+    def __init__(
+        self,
+        measure: Callable[[List[int]], Optional[float]],
+        extents: Sequence[int],
+        n_best: int = 64,
+        p_parameter: float = 0.5,
+        first_round: int = 32,
+        round_size: int = 16,
+        max_rounds: int = 4,
+        seed: int = 0,
+    ):
+        self.measure = measure
+        self.extents = list(extents)
+        self.ladders = [self._ladder(e) for e in self.extents]
+        self.n_best = n_best
+        self.p_parameter = p_parameter
+        self.first_round = first_round
+        self.round_size = round_size
+        self.max_rounds = max_rounds
+        self.rng = random.Random(seed)
+        self.history: List[TuningRecord] = []
+        self.model = PerformanceModel()
+
+    @staticmethod
+    def _ladder(extent: int) -> List[int]:
+        steps = [extent]
+        v = 1
+        while v < extent:
+            steps.append(v)
+            v *= 2
+        return sorted(set(steps))
+
+    def _random_sizes(self) -> List[int]:
+        return [self.rng.choice(ladder) for ladder in self.ladders]
+
+    def _measure_once(self, sizes: List[int]) -> None:
+        if any(r.sizes == sizes for r in self.history):
+            return
+        cycles = self.measure(sizes)
+        if cycles is not None:
+            self.history.append(TuningRecord(list(sizes), float(cycles)))
+
+    def _probability(self, round_index: int) -> float:
+        """The varying mixing probability p of Sec. 5.3 (0 .. e-saturated)."""
+        raw = math.exp(self.p_parameter * round_index) - 1.0
+        return min(raw / (math.e - 1.0), 1.0)
+
+    def tune(self) -> Tuple[List[int], List[TuningRecord]]:
+        """Run the search; returns (best sizes, full history)."""
+        for _ in range(self.first_round):
+            self._measure_once(self._random_sizes())
+        if not self.history:
+            raise RuntimeError("no feasible tiling candidate could be measured")
+
+        best_cycles = min(r.cycles for r in self.history)
+        for round_index in range(1, self.max_rounds + 1):
+            self.model.fit(
+                [r.sizes for r in self.history],
+                [r.cycles for r in self.history],
+            )
+            ranked = sorted(self.history, key=lambda r: r.cycles)
+            pool = ranked[: self.n_best]
+            p = self._probability(round_index)
+            for _ in range(self.round_size):
+                if self.rng.random() < p and pool:
+                    seedrec = self.rng.choice(pool)
+                    candidate = self.model.better_neighbour(
+                        seedrec.sizes, self.ladders
+                    )
+                else:
+                    candidate = self._random_sizes()
+                self._measure_once(candidate)
+            new_best = min(r.cycles for r in self.history)
+            if new_best >= best_cycles:
+                break  # no performance gain: stop early
+            best_cycles = new_best
+
+        best = min(self.history, key=lambda r: r.cycles)
+        return list(best.sizes), self.history
+
+
+def tune_tile_sizes(
+    outputs,
+    name: str = "kernel",
+    hw=None,
+    seed: int = 0,
+    first_round: int = 16,
+    round_size: int = 8,
+    max_rounds: int = 3,
+) -> Tuple[List[int], List[TuningRecord]]:
+    """Tune AKG tile sizes for a kernel by measuring simulated cycles."""
+    from repro.core.compiler import AkgOptions, build
+    from repro.hw.spec import HardwareSpec
+
+    hw = hw or HardwareSpec()
+    probe = build(outputs, name, hw=hw)
+    extents = probe.tile_sizes or [1]
+    # Recover the full band extents from the live-out group.
+    group = probe.groups[-1]
+    lead = group.statements[-1]
+    extents = lead.iter_extents[: len(group.tile_dims)]
+
+    def measure(sizes: List[int]) -> Optional[float]:
+        try:
+            result = build(
+                outputs, name, hw=hw, options=AkgOptions(tile_sizes=sizes)
+            )
+        except RuntimeError:
+            return None
+        return float(result.cycles())
+
+    tuner = AutoTuner(
+        measure,
+        extents,
+        first_round=first_round,
+        round_size=round_size,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return tuner.tune()

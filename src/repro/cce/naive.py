@@ -1,0 +1,88 @@
+"""The naive CCE baseline: unoptimised (but not absurd) hand code.
+
+The paper's naive implementation is "written by the experts without using
+vendor libraries or performing optimizations" and lands about 2.8x behind
+the optimized CCE code on single operators.  That is the profile of code
+that *does* use the vector/cube units (no expert would write per-element
+scalar loops) but skips every optimisation that takes effort:
+
+- small, shape-oblivious tiles (a handful of rows at a time),
+- no double buffering / latency hiding: transfers and compute serialise,
+- full pipe barriers instead of fine-grained flags,
+- no alignment work (unaligned vector intrinsics), no img2col/fractal
+  layout tuning for convolutions,
+- no fusion across operators: every op round-trips global memory.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence
+
+from repro.hw.isa import Barrier, Instr, Program
+from repro.hw.simulator import SimReport, Simulator
+from repro.hw.spec import HardwareSpec
+from repro.ir.lower import LoweredKernel, lower
+from repro.ir.tensor import Tensor
+
+
+class CceCompileResult:
+    """Compiled baseline program (naive or expert)."""
+
+    def __init__(self, program: Program, kernel: LoweredKernel, hw: HardwareSpec):
+        self.program = program
+        self.kernel = kernel
+        self.hw = hw
+
+    def simulate(self) -> SimReport:
+        """Run the cycle simulator."""
+        return Simulator(self.hw).run(self.program)
+
+    def cycles(self) -> int:
+        """Simulated execution cycles."""
+        return self.simulate().total_cycles
+
+
+def cce_naive_build(
+    outputs: Sequence[Tensor] | Tensor,
+    name: str = "kernel",
+    hw: Optional[HardwareSpec] = None,
+) -> CceCompileResult:
+    """Compile the naive per-operator implementation."""
+    from repro.cce.expert import isolate_op
+    from repro.core.compiler import AkgOptions, build
+
+    hw = hw or HardwareSpec()
+    # No alignment effort: every vector intrinsic pays the unaligned path.
+    naive_hw = copy.deepcopy(hw)
+    naive_hw.vector_unaligned_penalty = max(hw.vector_unaligned_penalty, 2.0)
+
+    if isinstance(outputs, Tensor):
+        outputs = [outputs]
+    order: List[Tensor] = []
+    seen = set()
+    for out in outputs:
+        for t in out.ancestors():
+            if not t.is_placeholder and id(t) not in seen:
+                seen.add(id(t))
+                order.append(t)
+
+    instrs: List[Instr] = []
+    for i, t in enumerate(order):
+        isolated = isolate_op(t)
+        result = build(
+            isolated,
+            f"{name}_{t.name}",
+            hw=naive_hw,
+            options=AkgOptions(
+                sync_policy="naive",
+                double_buffer=False,
+                tile_shrink=2,  # shape-oblivious small tiles
+            ),
+        )
+        if i > 0:
+            instrs.append(Barrier())
+        instrs.extend(result.program.instructions)
+
+    kernel = lower(outputs, name)
+    return CceCompileResult(Program(f"{name}_naive", instrs), kernel, naive_hw)

@@ -1,0 +1,17 @@
+"""The AKG compiler driver: the paper's primary contribution, end to end.
+
+``repro.core.compiler.build`` runs the full Fig. 2 pipeline:
+
+    te DSL -> lowering -> dependences -> clustering -> polyhedral
+    scheduling -> auto/manual tiling -> post-tiling fusion -> intra-tile
+    fusion -> conv img2col/fractal -> storage promotion -> code generation
+    (vectorisation, DAE sync, double buffering) -> program
+
+The result bundles the compiled program with every intermediate artefact
+(schedule tree, dependences, tiling, storage plans) plus convenience
+methods ``simulate()`` and ``execute()``.
+"""
+
+from repro.core.compiler import AkgOptions, CompileResult, build
+
+__all__ = ["AkgOptions", "CompileResult", "build"]

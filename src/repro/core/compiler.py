@@ -1,0 +1,709 @@
+"""The end-to-end AKG compilation driver (Fig. 2).
+
+``build`` orchestrates every pass in the paper's order.  Tile sizes come
+from one of three sources, in precedence order:
+
+1. an explicit ``tile_policy`` written in the Fig. 4 specification
+   language (or a plain ``tile_sizes`` list),
+2. Auto Tiling (Sec. 4.2): footprints are probed at a few candidate sizes
+   to fit the multivariate buffer-utilisation polynomial, then the greedy
+   search of :class:`~repro.tiling.auto.AutoTiler` picks the sizes that
+   minimise data movement under double-buffered capacities,
+3. a final safety loop that halves sizes until the exact storage plan
+   fits (the linear fit is an approximation; the exact plan is the law).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.program import CodegenOptions, ProgramBuilder
+from repro.codegen.program_exec import execute_program
+from repro.fusion.intratile import (
+    UnitAssignment,
+    assign_compute_units,
+    mark_local_buffers,
+)
+from repro.fusion.posttile import (
+    FusionResult,
+    TiledGroup,
+    apply_post_tiling_fusion,
+)
+from repro.hw.isa import Program
+from repro.hw.simulator import SimReport, Simulator
+from repro.hw.spec import HardwareSpec
+from repro.ir.lower import LoweredKernel, lower
+from repro.ir.tensor import Tensor
+from repro.sched.clustering import Clustering, conservative_clustering
+from repro.sched.deps import Dependence, compute_dependences
+from repro.sched.scheduler import PolyScheduler, SchedulerOptions, check_legality
+from repro.sched.tree import BandNode, DomainNode, FilterNode
+from repro.storage.promote import StoragePlan, plan_storage
+from repro.tiling.auto import AutoTiler, LinearFootprintEvaluator
+from repro.tiling.spec import TilingPolicy, parse_tiling_policy
+
+
+class AkgOptions:
+    """End-to-end compilation options (and the ablation switches)."""
+
+    def __init__(
+        self,
+        tile_policy: Optional[TilingPolicy | str] = None,
+        tile_sizes: Optional[Sequence[int]] = None,
+        auto_tiling: bool = True,
+        sync_policy: str = "dp",
+        double_buffer: bool = True,
+        vectorize: bool = True,
+        post_tiling_fusion: bool = True,
+        emit_trace: bool = False,
+        verify_schedule: bool = False,
+        scheduler: Optional[SchedulerOptions] = None,
+        tile_shrink: int = 0,
+    ):
+        if isinstance(tile_policy, str):
+            tile_policy = parse_tiling_policy(tile_policy)
+        self.tile_policy = tile_policy
+        self.tile_sizes = list(tile_sizes) if tile_sizes else None
+        self.auto_tiling = auto_tiling
+        self.sync_policy = sync_policy
+        self.double_buffer = double_buffer
+        self.vectorize = vectorize
+        self.post_tiling_fusion = post_tiling_fusion
+        self.emit_trace = emit_trace
+        self.verify_schedule = verify_schedule
+        self.scheduler = scheduler or SchedulerOptions()
+        # Extra halvings applied after tile selection; used to model
+        # unoptimised hand code that picks shape-oblivious small tiles.
+        self.tile_shrink = tile_shrink
+
+
+class CompileResult:
+    """Compiled program plus every intermediate artefact."""
+
+    def __init__(
+        self,
+        program: Program,
+        kernel: LoweredKernel,
+        tree: DomainNode,
+        deps: List[Dependence],
+        clustering: Clustering,
+        groups: List[TiledGroup],
+        plans: List[StoragePlan],
+        assignments: List[UnitAssignment],
+        tile_sizes: List[int],
+        hw: HardwareSpec,
+    ):
+        self.program = program
+        self.kernel = kernel
+        self.tree = tree
+        self.deps = deps
+        self.clustering = clustering
+        self.groups = groups
+        self.plans = plans
+        self.assignments = assignments
+        self.tile_sizes = tile_sizes
+        self.hw = hw
+
+    def simulate(self) -> SimReport:
+        """Run the cycle simulator on the compiled program."""
+        return Simulator(self.hw).run(self.program)
+
+    def cycles(self) -> int:
+        """Convenience: simulated execution cycles."""
+        return self.simulate().total_cycles
+
+    def execute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Functional replay (requires ``emit_trace=True`` at build time)."""
+        return execute_program(self.program, inputs)
+
+    def cce_code(self) -> str:
+        """Emit CCE-like C code for the compiled kernel."""
+        from repro.codegen.cce import emit_cce
+
+        return emit_cce(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompileResult({self.kernel.name}, tiles={self.tile_sizes}, "
+            f"{len(self.groups)} groups)"
+        )
+
+
+def build(
+    outputs: Sequence[Tensor] | Tensor,
+    name: str = "kernel",
+    hw: Optional[HardwareSpec] = None,
+    options: Optional[AkgOptions] = None,
+) -> CompileResult:
+    """Compile tensor-expression outputs into a simulatable NPU program."""
+    hw = hw or HardwareSpec()
+    options = options or AkgOptions()
+
+    kernel = lower(outputs, name)
+    deps = compute_dependences(kernel)
+    clustering = conservative_clustering(kernel, deps)
+    scheduler = PolyScheduler(options.scheduler)
+
+    from repro.sched.tree import clone_tree
+
+    master_tree = scheduler.schedule_kernel(kernel, deps, clustering)
+
+    def fresh_tree() -> DomainNode:
+        return clone_tree(master_tree)
+
+    base_tree = fresh_tree()
+    if options.verify_schedule:
+        violations = check_legality(base_tree, deps)
+        if violations:
+            raise RuntimeError(f"illegal schedule: {violations}")
+
+    band_rows = _liveout_band_rows(base_tree, clustering)
+    extents = _liveout_extents(kernel, clustering, band_rows)
+
+    sizes = _select_tile_sizes(
+        kernel, deps, clustering, fresh_tree, hw, options, extents
+    )
+    for _ in range(options.tile_shrink):
+        sizes = _halve_largest(sizes)
+
+    # Final build at the chosen sizes, with an exact-fit safety loop.  When
+    # the initial sizes must shrink, two shrink policies are attempted and
+    # the faster *measured* candidate wins (Auto Tiling refined by
+    # measurement, the paper's Sec. 4.2 + 5.3 combination).
+    from repro.fusion.posttile import tile_single_group
+
+    stmt_by_id = {s.stmt_id: s for s in kernel.statements}
+
+    def attempt(shrink_fn, start_sizes, tree_fn=None, cl=None, fuse=None):
+        tree_fn = tree_fn or fresh_tree
+        cl = cl or clustering
+        fuse = options.post_tiling_fusion if fuse is None else fuse
+        sizes_local = list(start_sizes)
+        shrunk = False
+        for _ in range(64):
+            tree = tree_fn()
+            if fuse:
+                fusion = apply_post_tiling_fusion(
+                    tree, kernel, deps, cl, sizes_local
+                )
+            else:
+                fusion = _fusionless(tree, kernel, deps, cl, sizes_local)
+
+            # Unfused producer groups (barriers, recompute-guarded
+            # reductions, split contractions) are re-tiled independently
+            # until they fit, starting from the same closed-form sizes a
+            # standalone kernel would get.
+            for gi, group in enumerate(fusion.groups):
+                if group.source_filter is None:
+                    continue
+                own = _own_group_sizes(group, hw)
+                group = tile_single_group(group.source_filter, stmt_by_id, own)
+                for _ in range(40):
+                    assignment = assign_compute_units(group.statements)
+                    plan = plan_storage(
+                        group, assignment, kernel, hw, options.double_buffer
+                    )
+                    if plan.fits(hw, options.double_buffer):
+                        break
+                    own = _capacity_shrink(group, plan, own)
+                    group = tile_single_group(group.source_filter, stmt_by_id, own)
+                fusion.groups[gi] = group
+
+            assignments = [assign_compute_units(g.statements) for g in fusion.groups]
+            plans = [
+                plan_storage(g, a, kernel, hw, options.double_buffer)
+                for g, a in zip(fusion.groups, assignments)
+            ]
+            if all(p.fits(hw, options.double_buffer) for p in plans):
+                return fusion, assignments, plans, sizes_local, shrunk
+            shrunk = True
+            main_idx = next(
+                (i for i, g in enumerate(fusion.groups) if g.source_filter is None),
+                len(fusion.groups) - 1,
+            )
+            sizes_local = shrink_fn(
+                fusion.groups[main_idx], plans[main_idx], sizes_local
+            )
+        return None
+
+    result = attempt(_capacity_shrink, sizes)
+    if result is None:  # pragma: no cover - converges at size 1
+        raise RuntimeError("could not fit tiles into on-chip buffers")
+
+    candidates = [result]
+    if result[4] and len(sizes) == 4:
+        # Conv-shaped kernels: also try the spatial-first shrink order.
+        alt = attempt(lambda g, p, s: _halve_conv_spatial(s), sizes)
+        if alt is not None:
+            candidates.append(alt)
+    if options.post_tiling_fusion and any(
+        g.fused_producer_ids for g in result[0].groups
+    ):
+        # The greedy fusion absorbed a stencil producer; also measure the
+        # split alternative (overlap recompute + shared-buffer pressure
+        # can lose to lean separate nests on some shapes -- the tuner
+        # decides).  The split still fuses plain uniform chains; only the
+        # stencil boundaries cut kernels.
+        from repro.sched.clustering import merge_uniform_clusters
+
+        split_clustering = merge_uniform_clusters(clustering)
+        split_master = scheduler.schedule_kernel(kernel, deps, split_clustering)
+
+        def split_tree():
+            return clone_tree(split_master)
+
+        split = attempt(
+            _capacity_shrink, sizes,
+            tree_fn=split_tree, cl=split_clustering, fuse=False,
+        )
+        if split is not None:
+            candidates.append(split)
+    if len(candidates) > 1:
+        result = min(
+            candidates, key=lambda r: _candidate_cycles(kernel, r, hw, options)
+        )
+
+    fusion, assignments, plans, sizes, _ = result
+
+    merged_assignment = _merge_assignments(assignments)
+    mark_local_buffers(fusion.tree, merged_assignment)
+    _sink_vector_dims(fusion, kernel, merged_assignment)
+    _graft_fractal_subtrees(fusion, merged_assignment, hw)
+
+    codegen = ProgramBuilder(
+        hw,
+        CodegenOptions(
+            sync_policy=options.sync_policy,
+            double_buffer=options.double_buffer,
+            vectorize=options.vectorize,
+            emit_trace=options.emit_trace,
+        ),
+    )
+    program = codegen.build(kernel, fusion.groups, plans, assignments)
+    return CompileResult(
+        program,
+        kernel,
+        fusion.tree,
+        deps,
+        clustering,
+        fusion.groups,
+        plans,
+        assignments,
+        list(sizes),
+        hw,
+    )
+
+
+# -- tile-size selection ------------------------------------------------------------
+
+
+def _liveout_band_rows(tree: DomainNode, clustering: Clustering) -> int:
+    liveout_ids = {
+        s.stmt_id
+        for ci in clustering.live_out
+        for s in clustering.clusters[ci]
+    }
+    for node in tree.walk():
+        if isinstance(node, FilterNode) and set(node.stmt_ids) & liveout_ids:
+            band = node.child
+            if isinstance(band, BandNode):
+                return band.n_rows
+    return 0
+
+
+def _liveout_extents(
+    kernel: LoweredKernel, clustering: Clustering, n_rows: int
+) -> List[int]:
+    liveout_ids = [
+        s.stmt_id for ci in sorted(clustering.live_out) for s in clustering.clusters[ci]
+    ]
+    stmt = next(s for s in kernel.statements if s.stmt_id == liveout_ids[-1])
+    return list(stmt.iter_extents[:n_rows])
+
+
+def _select_tile_sizes(
+    kernel, deps, clustering, fresh_tree, hw, options, extents
+) -> List[int]:
+    if not extents:
+        return []
+    liveout_ids = [
+        s.stmt_id for ci in sorted(clustering.live_out) for s in clustering.clusters[ci]
+    ]
+    if options.tile_sizes is not None:
+        return list(options.tile_sizes)[: len(extents)] + extents[
+            len(options.tile_sizes) :
+        ]
+    if options.tile_policy is not None:
+        for sid in liveout_ids:
+            manual = options.tile_policy.sizes_for(sid)
+            if manual:
+                return list(manual)[: len(extents)] + extents[len(manual) :]
+    if not options.auto_tiling:
+        return list(extents)
+
+    # Contractions (matmul / batched matmul) have a closed-form optimum:
+    # the largest square output tile the L0C accumulator can hold, with
+    # the reduction streamed through L1 in chunks (plan_storage's
+    # hierarchical tiling).  Maximising Tm = Tn minimises the movement
+    # metric 2*K*(M*N/Tn + M*N/Tm) directly.
+    from repro.fusion.intratile import is_cube_statement
+
+    liveout_stmts = [
+        s
+        for ci in sorted(clustering.live_out)
+        for s in clustering.clusters[ci]
+    ]
+    cube = [s for s in liveout_stmts if is_cube_statement(s)]
+    if cube and cube[0].data_rank <= 3 and len(extents) == cube[0].data_rank:
+        return _contraction_tile_sizes(cube[0], hw, extents)
+    if cube and cube[0].data_rank == 4 and len(extents) == 4:
+        return _conv_tile_sizes(extents)
+
+    evaluator = _fit_evaluator(
+        kernel, deps, clustering, fresh_tree, hw, options, extents
+    )
+    tiler = AutoTiler(hw, evaluator, extents, double_buffered=options.double_buffer)
+    return tiler.search()
+
+
+def _conv_tile_sizes(extents: List[int]) -> List[int]:
+    """Closed-form NCHW convolution tiling.
+
+    One image at a time (pipelines the batch), full output channels (no
+    input recompute across channel tiles), and a spatial block sized to a
+    fixed working-set budget -- wider blocks for thin-channel (depthwise)
+    layers, 32x32 for deep ones.  The exact-fit loop shrinks further when
+    L1 demands it.
+    """
+    n, co, ho, wo = extents
+    budget_elems = 64 * 1024
+    spatial = max(budget_elems // max(co, 1), 256)
+    w_t = wo  # keep the row whole: splitting it multiplies DMA bursts
+    h_t = min(ho, max(spatial // w_t, 4))
+    if h_t < ho:
+        # Round a genuine split down to a power of two for even tiles;
+        # a full extent stays whole (no pointless partial tiles).
+        h_t = 1 << (h_t.bit_length() - 1)
+    return [1, co, min(h_t, ho), w_t]
+
+
+def _contraction_tile_sizes(stmt, hw, extents) -> List[int]:
+    """Movement-optimal (Tm, Tn) for a GEMM-shaped live-out statement.
+
+    Square tiles minimise ``K*(M*N/Tn + M*N/Tm)``; when one extent clamps
+    below the square side, the freed accumulator budget goes to the other
+    side (tall/flat GEMMs such as fully-connected layers at small batch).
+    """
+    acc_bytes = 4  # the L0C accumulator holds fp32 partials
+    l0c_elems = hw.usable_capacity("L0C") // acc_bytes
+    t = 16
+    while (2 * t) * (2 * t) <= l0c_elems:
+        t *= 2
+    m_idx, n_idx = len(extents) - 2, len(extents) - 1
+    tm = min(t, extents[m_idx])
+    tn = min(t, extents[n_idx])
+    # Redistribute slack to the unclamped side (in fractal multiples).
+    if tm < t:
+        tn = min(extents[n_idx], max((l0c_elems // max(tm, 1)) // 16 * 16, tn))
+    elif tn < t:
+        tm = min(extents[m_idx], max((l0c_elems // max(tn, 1)) // 16 * 16, tm))
+    sizes = [1] * len(extents)
+    sizes[m_idx] = tm
+    sizes[n_idx] = tn
+    return sizes
+
+
+def _probe_plan(
+    kernel, deps, clustering, fresh_tree, hw, options, sizes
+) -> Tuple[Dict[str, List[int]], Dict[str, Tuple[str, int, bool]]]:
+    """Footprints at one candidate size vector: per-tensor boxes + roles."""
+    tree = fresh_tree()
+    fusion = apply_post_tiling_fusion(tree, kernel, deps, clustering, sizes)
+    boxes: Dict[str, List[int]] = {}
+    meta: Dict[str, Tuple[str, int, bool]] = {}
+    for group in fusion.groups:
+        assignment = assign_compute_units(group.statements)
+        plan = plan_storage(group, assignment, kernel, hw, options.double_buffer)
+        moved_names = {m.tensor_name for m in plan.moves}
+        # Liveness: only the two largest tile-local intermediates count
+        # towards utilisation (slots of dead values are reused), mirroring
+        # StoragePlan.utilization's peak-live accounting.
+        locals_by_size = sorted(
+            (
+                alloc
+                for key, alloc in plan.allocations.items()
+                if key == alloc.tensor_name
+                and alloc.tensor_name in plan.local_tensors
+                and alloc.scope == "UB"
+            ),
+            key=lambda a: -a.nbytes,
+        )
+        counted_locals = {a.tensor_name for a in locals_by_size[:2]}
+        for key, alloc in plan.allocations.items():
+            if key != alloc.tensor_name:
+                continue  # skip the derived L0 allocations
+            is_local = (
+                alloc.tensor_name in plan.local_tensors and alloc.scope == "UB"
+            )
+            if is_local and alloc.tensor_name not in counted_locals:
+                continue
+            boxes[key] = list(alloc.box)
+            meta[key] = (
+                alloc.scope,
+                hw.dtype_bytes(alloc.dtype),
+                alloc.tensor_name in moved_names,
+            )
+    return boxes, meta
+
+
+def _fit_evaluator(
+    kernel, deps, clustering, fresh_tree, hw, options, extents
+) -> LinearFootprintEvaluator:
+    """Fit the per-tensor affine footprint polynomial by probing.
+
+    Footprint extents of affine accesses are affine in each tile size
+    (``alpha*T + beta``); two probes per dimension recover the
+    coefficients exactly.
+    """
+    base_sizes = [min(4, e) for e in extents]
+    base_boxes, meta = _probe_plan(
+        kernel, deps, clustering, fresh_tree, hw, options, base_sizes
+    )
+    bump_boxes: List[Dict[str, List[int]]] = []
+    for d in range(len(extents)):
+        probe = list(base_sizes)
+        probe[d] = min(8, extents[d])
+        boxes, _ = _probe_plan(
+            kernel, deps, clustering, fresh_tree, hw, options, probe
+        )
+        bump_boxes.append(boxes)
+
+    terms = []
+    for tname, box0 in base_boxes.items():
+        scope, dbytes, moved = meta[tname]
+        factors = []
+        for k, e0 in enumerate(box0):
+            # Find the tile dim this tensor dim responds to.
+            alpha, dim_index = 0.0, None
+            for d in range(len(extents)):
+                delta_size = min(8, extents[d]) - base_sizes[d]
+                if delta_size == 0:
+                    continue
+                e1 = bump_boxes[d].get(tname, box0)[k]
+                a = (e1 - e0) / delta_size
+                if abs(a) > abs(alpha):
+                    alpha, dim_index = a, d
+            beta = e0 - alpha * (base_sizes[dim_index] if dim_index is not None else 0)
+            factors.append((dim_index, alpha, beta))
+        terms.append((scope, dbytes, factors, moved))
+    return LinearFootprintEvaluator(terms)
+
+
+def _own_group_sizes(group, hw) -> List[int]:
+    """Standalone tile sizes for one unfused group's band.
+
+    Mirrors what _select_tile_sizes would pick for the group as its own
+    kernel: the conv/contraction closed forms when a cube statement leads,
+    otherwise the whole space (the exact-fit loop shrinks from there).
+    """
+    from repro.fusion.intratile import is_cube_statement
+
+    n_dims = len(group.tile_dims)
+    cube = [s for s in group.statements if is_cube_statement(s)]
+    if cube:
+        lead = cube[0]
+        extents = list(lead.iter_extents[: lead.data_rank])
+        if lead.data_rank == 4 and n_dims == 4:
+            return _conv_tile_sizes(extents)
+        if lead.data_rank <= 3 and n_dims == lead.data_rank:
+            return _contraction_tile_sizes(lead, hw, extents)
+    return list(group.tile_sizes)
+
+
+def _candidate_cycles(kernel, candidate, hw, options) -> int:
+    """Simulated cycles of one (fusion, assignments, plans) candidate."""
+    fusion, assignments, plans, _sizes, _ = candidate
+    builder = ProgramBuilder(
+        hw,
+        CodegenOptions(
+            sync_policy=options.sync_policy,
+            double_buffer=options.double_buffer,
+            vectorize=options.vectorize,
+        ),
+    )
+    program = builder.build(kernel, fusion.groups, plans, assignments)
+    return Simulator(hw).run(program).total_cycles
+
+
+def _halve_conv_spatial(sizes: List[int]) -> List[int]:
+    """Spatial-first shrink order for NCHW tiles (H, then channels, W last)."""
+    out = list(sizes)
+    if out[2] > 2:
+        out[2] //= 2
+    elif out[1] > 1:
+        out[1] = max(out[1] // 2, 1)
+    elif out[3] > 1:
+        out[3] = max(out[3] // 2, 1)
+    elif out[0] > 1:
+        out[0] = max(out[0] // 2, 1)
+    return out
+
+
+def _move_tile_dependence(group, plan) -> Dict[str, set]:
+    """Which tile dims each inbound tensor's footprint depends on.
+
+    A move whose footprint does not involve a tile dim gets *reloaded
+    identically* when that dim is split further -- halving such a dim
+    doubles that tensor's total traffic.  Derived structurally from the
+    composed ``tile -> elements`` relations.
+    """
+    
+    deps: Dict[str, set] = {}
+    tile_dims = set(group.tile_dims)
+    for stmt in group.statements:
+        for access in [stmt.write] + list(stmt.reads):
+            name = access.tensor.name
+            if not access.is_affine:
+                deps.setdefault(name, set())
+                continue
+            rel = group.instance_relations[stmt.stmt_id]
+            fp = rel.compose(access.as_map(stmt.space))
+            tensor_dims = set(fp.out_space.dims)
+            used = set()
+            for con in fp.constraints:
+                names = set(con.variables())
+                # Only constraints *linking* a tensor dim to a tile dim
+                # make the footprint vary with the tile; pure tile-range
+                # bounds (0 <= o < count) do not.
+                if names & tensor_dims:
+                    used.update(names & tile_dims)
+            deps.setdefault(name, set()).update(used)
+    return deps
+
+
+def _capacity_shrink(group, plan, sizes: List[int]) -> List[int]:
+    """Pick the halving that satisfies capacity at least traffic cost.
+
+    For each candidate dim: inbound tensors whose footprints *depend* on
+    the dim keep their total traffic (half the bytes, twice the tiles);
+    independent tensors (weights vs spatial splits, inputs vs channel
+    splits) double theirs.  The innermost dim (DMA contiguity) is only
+    split when nothing else can shrink.
+    """
+    dependence = _move_tile_dependence(group, plan)
+    in_moves = [m for m in plan.moves if m.direction == "in"]
+    candidates = []
+    for d in range(len(sizes)):
+        if sizes[d] <= 1:
+            continue
+        dim_name = group.tile_dims[d] if d < len(group.tile_dims) else None
+        traffic = 0.0
+        for m in in_moves:
+            depends = dim_name in dependence.get(m.tensor_name, set())
+            traffic += m.nbytes * (1.0 if depends else 2.0)
+        if d == len(sizes) - 1:
+            traffic *= 1.5  # innermost: splitting multiplies DMA bursts
+        if sizes[d] <= 16 and any(
+            sizes[e] > 16 for e in range(len(sizes)) if e != d
+        ):
+            # Dropping below the fractal block wastes Cube MACs and
+            # vector lanes; avoid while a larger dim can shrink.
+            traffic *= 2.0
+        candidates.append((traffic, -sizes[d], d))
+    if not candidates:
+        return list(sizes)
+    candidates.sort()
+    out = list(sizes)
+    d = candidates[0][2]
+    out[d] = max(out[d] // 2, 1)
+    return out
+
+
+def _halve_largest(sizes: List[int]) -> List[int]:
+    """Halve the largest tile dimension, sparing the innermost.
+
+    The innermost dimension carries DMA contiguity: shrinking it multiplies
+    burst counts, so it is only touched when every outer dim is already 1.
+    """
+    out = list(sizes)
+    if not out:
+        return out
+    outer = range(len(out) - 1) if len(out) > 1 else range(1)
+    dim = max(outer, key=lambda d: out[d], default=0)
+    if out[dim] <= 1:
+        dim = len(out) - 1
+    if out[dim] > 1:
+        out[dim] = max(out[dim] // 2, 1)
+    return out
+
+
+def _sink_vector_dims(fusion, kernel, assignment: UnitAssignment) -> None:
+    """Sink each vector statement's fast-varying dim innermost (Sec. 4.3).
+
+    Applies the permutable-band interchange to single-statement bands in
+    the tree; the legality argument is the band's permutability, so no ILP
+    re-run is needed (exactly the paper's shortcut over re-scheduling).
+    """
+    from repro.fusion.intratile import sink_fast_dim
+    from repro.sched.tree import find_parent, replace_child
+
+    stmt_by_id = {s.stmt_id: s for s in kernel.statements}
+    for band in list(fusion.tree.find_all(BandNode)):
+        if len(band.schedules) != 1 or not band.permutable or band.tile_sizes:
+            continue
+        sid = next(iter(band.schedules))
+        if assignment.units.get(sid) != "vector":
+            continue
+        stmt = stmt_by_id.get(sid)
+        if stmt is None:
+            continue
+        sunk = sink_fast_dim(band, stmt)
+        if sunk is not band:
+            parent = find_parent(fusion.tree, band)
+            if parent is not None:
+                replace_child(parent, band, sunk)
+
+
+def _graft_fractal_subtrees(fusion, assignment: UnitAssignment, hw) -> None:
+    """Replace every cube statement's point subtree with the external
+    fractal GEMM IR (the Sec. 4.5 graft, pink region of Fig. 3f)."""
+    from repro.conv.fractal import fractal_gemm_for, graft_fractal
+
+    for group in fusion.groups:
+        for stmt in group.statements:
+            if assignment.units.get(stmt.stmt_id) != "cube":
+                continue
+            if stmt.kind != "reduce":
+                continue
+            extents = dict(
+                zip(stmt.iter_names, group.instance_extents(stmt.stmt_id))
+            )
+            gemm = fractal_gemm_for(stmt, extents, block=hw.cube_block)
+            try:
+                graft_fractal(fusion.tree, stmt, gemm)
+            except ValueError:
+                pass  # statement scheduled without its own filter subtree
+
+
+def _merge_assignments(assignments: Sequence[UnitAssignment]) -> UnitAssignment:
+    units: Dict[str, str] = {}
+    buffers: Dict[str, str] = {}
+    for a in assignments:
+        units.update(a.units)
+        buffers.update(a.buffers)
+    return UnitAssignment(units, buffers)
+
+
+def _fusionless(tree, kernel, deps, clustering, sizes) -> FusionResult:
+    """Ablation path: tile every group separately (no post-tiling fusion)."""
+    from repro.fusion.posttile import tile_single_group, _group_filters
+
+    stmt_by_id = {s.stmt_id: s for s in kernel.statements}
+    groups = []
+    for f in _group_filters(tree):
+        band = f.child
+        n = band.n_rows if isinstance(band, BandNode) else 1
+        groups.append(tile_single_group(f, stmt_by_id, list(sizes)[:n] or None))
+    return FusionResult(tree, groups)

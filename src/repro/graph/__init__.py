@@ -1,0 +1,37 @@
+"""Graph engine: computation graphs, subgraph fusion, network models.
+
+AKG inherits TVM's graph engine (Sec. 3): the graph layer partitions a
+network into fused subgraphs and hands each one to the tensor compiler.
+Here the computation graph *is* the ``te`` tensor DAG; the fusion pass
+partitions its compute nodes into groups, and each group is re-rooted
+onto placeholder inputs to form an independent kernel.
+
+- :mod:`repro.graph.fusion`    -- the graph-level fusion pass.
+- :mod:`repro.graph.subgraphs` -- the five fused subgraphs of Table 1.
+- :mod:`repro.graph.networks`  -- ResNet-50, MobileNet-v2, AlexNet,
+  BERT (two vocabularies) and SSD as layer tables.
+"""
+
+from repro.graph.fusion import SubgraphSpec, extract_subgraph, fuse_graph
+from repro.graph.networks import (
+    NetworkModel,
+    alexnet,
+    bert,
+    mobilenet_v2,
+    resnet50,
+    ssd300,
+)
+from repro.graph.subgraphs import paper_subgraphs
+
+__all__ = [
+    "fuse_graph",
+    "extract_subgraph",
+    "SubgraphSpec",
+    "paper_subgraphs",
+    "NetworkModel",
+    "resnet50",
+    "mobilenet_v2",
+    "alexnet",
+    "bert",
+    "ssd300",
+]

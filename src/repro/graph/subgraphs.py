@@ -1,0 +1,198 @@
+"""The five fused subgraphs of Table 1 (Sec. 6.2).
+
+Shapes, precisions, batch size and operator counts follow the table
+verbatim; the operator mixes are reconstructed from the paper's
+description of where they come from (ResNet-50, BERT, MobileNets) and
+which phenomena they exercise:
+
+- subgraph1 and subgraph5 contain a *stencil* producer inside the chain
+  (a depthwise 3x3 window), which needs the complex tile shapes /
+  post-tiling fusion only AKG models -- these are the two cases where the
+  paper reports AKG "provides significant improvement over TVM";
+- subgraph2 is a long (21-op) FP16 element-wise chain (BN-style scale /
+  shift / activations / residual), fully fusable by both compilers;
+- subgraph3 and subgraph4 are BERT FP32 vector patterns, one at embedding
+  width (30522, 1024), one at hidden width (1024, 1024), with row
+  reductions that neither compiler can fuse into the main nest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir import ops
+from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis, te_sum
+
+
+class PaperSubgraph:
+    """One Table 1 row: metadata + a builder returning the te outputs."""
+
+    def __init__(
+        self,
+        index: int,
+        n_ops: int,
+        precision: str,
+        batch: int,
+        input_shape: Tuple[int, ...],
+        output_shape: Tuple[int, ...],
+        build: Callable[[], List[Tensor]],
+        origin: str,
+    ):
+        self.index = index
+        self.n_ops = n_ops
+        self.precision = precision
+        self.batch = batch
+        self.input_shape = input_shape
+        self.output_shape = output_shape
+        self.build = build
+        self.origin = origin
+
+    @property
+    def name(self) -> str:
+        return f"subgraph{self.index}"
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}(ops={self.n_ops}, {self.precision}, "
+            f"in={self.input_shape})"
+        )
+
+
+def _subgraph1() -> List[Tensor]:
+    """6 FP16 ops on (16,16,512,512): stencil inside an activation chain."""
+    x = placeholder((16, 16, 512, 512), dtype="fp16", name="X")
+    w = placeholder((16, 3, 3), dtype="fp16", name="W")
+    a = ops.scalar_add(x, 0.5, name="sg1_bias")                     # 1
+    d = ops.depthwise_conv2d(a, w, padding=(1, 1), name="sg1_dw")   # 2 (stencil)
+    b = ops.abs_op(d, name="sg1_abs")                               # 3
+    r = ops.relu(b, name="sg1_relu")                                # 4
+    s = ops.add(r, x, name="sg1_res")                               # 5
+    out = ops.scalar_mul(s, 0.9, name="sg1_scale")                  # 6
+    return [out]
+
+
+def _subgraph2() -> List[Tensor]:
+    """21 FP16 element-wise ops on (256,512,16,16): BN-style chain."""
+    x = placeholder((256, 512, 16, 16), dtype="fp16", name="X")
+    y = placeholder((256, 512, 16, 16), dtype="fp16", name="Y")
+    t = x
+    t = ops.scalar_mul(t, 1.01, name="sg2_s0")          # 1
+    t = ops.scalar_add(t, 0.1, name="sg2_a0")           # 2
+    t = ops.relu(t, name="sg2_r0")                      # 3
+    t = ops.mul(t, y, name="sg2_m0")                    # 4
+    t = ops.scalar_add(t, -0.2, name="sg2_a1")          # 5
+    t = ops.abs_op(t, name="sg2_abs")                   # 6
+    t = ops.scalar_mul(t, 0.5, name="sg2_s1")           # 7
+    t = ops.add(t, x, name="sg2_res0")                  # 8
+    t = ops.sigmoid(t, name="sg2_sig")                  # 9
+    t = ops.mul(t, x, name="sg2_m1")                    # 10
+    t = ops.scalar_add(t, 0.3, name="sg2_a2")           # 11
+    t = ops.relu(t, name="sg2_r1")                      # 12
+    t = ops.scalar_mul(t, 2.0, name="sg2_s2")           # 13
+    t = ops.sub(t, y, name="sg2_sub")                   # 14
+    t = ops.tanh_op(t, name="sg2_tanh")                 # 15
+    t = ops.scalar_add(t, 1.0, name="sg2_a3")           # 16
+    t = ops.scalar_mul(t, 0.25, name="sg2_s3")          # 17
+    t = ops.add(t, y, name="sg2_res1")                  # 18
+    t = ops.relu(t, name="sg2_r2")                      # 19
+    t = ops.mul(t, t_prev(t), name="sg2_m2")            # 20 (square)
+    t = ops.scalar_add(t, 1e-3, name="sg2_out")         # 21
+    return [t]
+
+
+def t_prev(t: Tensor) -> Tensor:
+    """Alias helper so squaring reads naturally above."""
+    return t
+
+
+def _subgraph3() -> List[Tensor]:
+    """15 FP32 ops on (30522,1024): BERT embedding-gradient vector chain."""
+    g = placeholder((30522, 1024), dtype="fp32", name="G")
+    v = placeholder((30522, 1024), dtype="fp32", name="V")
+    t = g
+    t = ops.scalar_mul(t, 0.999, name="sg3_decay")      # 1
+    t = ops.add(t, v, name="sg3_acc")                   # 2
+    t = ops.scalar_mul(t, 0.1, name="sg3_lr")           # 3
+    sq = ops.mul(g, g, name="sg3_sq")                   # 4
+    sq = ops.scalar_mul(sq, 0.001, name="sg3_eps0")     # 5
+    sq = ops.scalar_add(sq, 1e-8, name="sg3_eps")       # 6
+    rs = ops.elementwise_unary(sq, "rsqrt", name="sg3_rsqrt")  # 7
+    upd = ops.mul(t, rs, name="sg3_upd")                # 8
+    upd = ops.scalar_mul(upd, -1.0, name="sg3_neg")     # 9
+    nv = ops.add(v, upd, name="sg3_newv")               # 10
+    nv = ops.scalar_mul(nv, 1.0001, name="sg3_corr")    # 11
+    nv = ops.abs_op(nv, name="sg3_abs")                 # 12
+    nv = ops.scalar_add(nv, 1e-6, name="sg3_sh")        # 13
+    nv = ops.elementwise_unary(nv, "sqrt", name="sg3_sqrt")  # 14
+    out = ops.mul(nv, rs, name="sg3_out")               # 15
+    return [out]
+
+
+def _subgraph4() -> List[Tensor]:
+    """11 FP32 ops on (1024,1024): layernorm-style rows + vector mix."""
+    x = placeholder((1024, 1024), dtype="fp32", name="X")
+    r1 = reduce_axis((0, 1024), "sg4_r1")
+    total = compute(
+        (1024,), lambda i: te_sum(x[i, r1], axis=r1), name="sg4_sum"
+    )                                                    # 1 (row reduce)
+    r2 = reduce_axis((0, 1024), "sg4_r2")
+    sqsum = compute(
+        (1024,), lambda i: te_sum(x[i, r2] * x[i, r2], axis=r2), name="sg4_sqsum"
+    )                                                    # 2 (row reduce)
+    inv = 1.0 / 1024.0
+    mean = ops.scalar_mul(total, inv, name="sg4_mean")   # 3
+    ex2 = ops.scalar_mul(sqsum, inv, name="sg4_ex2")     # 4
+    msq = ops.mul(mean, mean, name="sg4_msq")            # 5
+    var = ops.sub(ex2, msq, name="sg4_var")              # 6
+    var = ops.scalar_add(var, 1e-5, name="sg4_eps")      # 7
+    rstd = ops.elementwise_unary(var, "rsqrt", name="sg4_rstd")  # 8
+    centered = compute(
+        (1024, 1024), lambda i, j: x[i, j] - mean[i], name="sg4_centered"
+    )                                                    # 9
+    normed = compute(
+        (1024, 1024), lambda i, j: centered[i, j] * rstd[i], name="sg4_norm"
+    )                                                    # 10
+    out = ops.relu(normed, name="sg4_out")               # 11
+    return [out]
+
+
+def _subgraph5() -> List[Tensor]:
+    """9 FP16 ops on (64,1,16,16): small maps with a pooling stencil."""
+    x = placeholder((64, 1, 16, 16), dtype="fp16", name="X")
+    w = placeholder((1, 3, 3), dtype="fp16", name="W")
+    a = ops.scalar_mul(x, 1.5, name="sg5_scale")                    # 1
+    d = ops.depthwise_conv2d(a, w, padding=(1, 1), name="sg5_dw")   # 2 (stencil)
+    s = ops.sigmoid(d, name="sg5_sig")                              # 3
+    m = ops.mul(s, x, name="sg5_gate")                              # 4
+    m = ops.scalar_add(m, 0.1, name="sg5_shift")                    # 5
+    m = ops.relu(m, name="sg5_relu")                                # 6
+    m = ops.add(m, x, name="sg5_res")                               # 7
+    m = ops.abs_op(m, name="sg5_abs")                               # 8
+    out = ops.scalar_mul(m, 0.8, name="sg5_out")                    # 9
+    return [out]
+
+
+def paper_subgraphs() -> List[PaperSubgraph]:
+    """All five Table 1 subgraphs, in order."""
+    return [
+        PaperSubgraph(
+            1, 6, "FP16", 16, (16, 16, 512, 512), (16, 16, 512, 512),
+            _subgraph1, "ResNet-50",
+        ),
+        PaperSubgraph(
+            2, 21, "FP16", 16, (256, 512, 16, 16), (256, 512, 16, 16),
+            _subgraph2, "ResNet-50",
+        ),
+        PaperSubgraph(
+            3, 15, "FP32", 16, (30522, 1024), (30522, 1024),
+            _subgraph3, "BERT",
+        ),
+        PaperSubgraph(
+            4, 11, "FP32", 16, (1024, 1024), (1024, 1024),
+            _subgraph4, "BERT",
+        ),
+        PaperSubgraph(
+            5, 9, "FP16", 16, (64, 1, 16, 16), (64, 1, 16, 16),
+            _subgraph5, "MobileNets",
+        ),
+    ]

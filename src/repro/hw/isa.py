@@ -1,0 +1,269 @@
+"""The CCE-like virtual instruction set.
+
+The code generator lowers a schedule tree to a linear instruction stream
+over the six DaVinci pipelines (decoupled access-execute, Sec. 5.2):
+
+====== ================================================================
+Pipe   Role
+====== ================================================================
+S      scalar unit (also dispatches, executes scalar arithmetic)
+V      vector unit (SIMD intrinsics over UB)
+M      cube unit (fractal MMAD over L0A/L0B -> L0C)
+MTE1   on-chip mover: L1 -> L0A/L0B (incl. img2col), L0C/UB moves
+MTE2   inbound DMA: GM -> L1 / UB
+MTE3   outbound DMA: UB -> GM
+====== ================================================================
+
+Synchronisation uses explicit ``set_flag`` / ``wait_flag`` pairs between
+pipes, exactly as on the chip; the simulator honours them.  ``Loop`` nodes
+keep the stream compact for large tile counts -- the simulator unrolls
+small loops and extrapolates a steady state for large ones.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Pipe(Enum):
+    """Instruction pipelines of the DaVinci core."""
+
+    S = "S"
+    V = "V"
+    M = "M"
+    MTE1 = "MTE1"
+    MTE2 = "MTE2"
+    MTE3 = "MTE3"
+
+
+# Which pipe serves each dataflow edge of Fig. 1.
+_PATH_PIPE = {
+    ("GM", "L1"): Pipe.MTE2,
+    ("GM", "UB"): Pipe.MTE2,
+    ("L1", "UB"): Pipe.MTE1,
+    ("L1", "L0A"): Pipe.MTE1,
+    ("L1", "L0B"): Pipe.MTE1,
+    # The accumulator drain (copy_matrix_cc_to_ubuf) is a Vector-pipe
+    # instruction on DaVinci, so it does not serialise against the MTE1
+    # loads of the next tile.
+    ("UB", "L0C"): Pipe.V,
+    ("L0C", "UB"): Pipe.V,
+    ("UB", "L1"): Pipe.MTE1,
+    ("UB", "GM"): Pipe.MTE3,
+}
+
+
+class Instr:
+    """Base instruction; every concrete instruction knows its pipe."""
+
+    pipe: Pipe = Pipe.S
+    label: str = ""
+
+    def describe(self) -> str:
+        """One-line rendering for dumps and debugging."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class DmaInstr(Instr):
+    """One DMA transfer of ``nbytes`` along a dataflow edge."""
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        contiguous_runs: int = 1,
+        label: str = "",
+    ):
+        key = (src, dst)
+        if key not in _PATH_PIPE:
+            raise ValueError(f"no dataflow path {src} -> {dst}")
+        self.src = src
+        self.dst = dst
+        self.nbytes = int(nbytes)
+        self.contiguous_runs = max(int(contiguous_runs), 1)
+        self.pipe = _PATH_PIPE[key]
+        self.label = label
+
+    def describe(self) -> str:
+        return (
+            f"{self.pipe.value}: dma {self.src}->{self.dst} "
+            f"{self.nbytes}B ({self.contiguous_runs} runs) {self.label}"
+        )
+
+
+class VectorInstr(Instr):
+    """One SIMD intrinsic over ``elems`` elements in UB."""
+
+    pipe = Pipe.V
+
+    def __init__(
+        self, op: str, elems: int, dtype: str, aligned: bool = True, label: str = ""
+    ):
+        self.op = op
+        self.elems = int(elems)
+        self.dtype = dtype
+        self.aligned = aligned
+        self.label = label
+
+    def describe(self) -> str:
+        align = "" if self.aligned else " unaligned"
+        return f"V: v{self.op} {self.elems}x{self.dtype}{align} {self.label}"
+
+
+class CubeInstr(Instr):
+    """One MMAD over a (m, k, n) region of fractal blocks."""
+
+    pipe = Pipe.M
+
+    def __init__(self, m: int, k: int, n: int, dtype: str = "fp16", label: str = ""):
+        self.m, self.k, self.n = int(m), int(k), int(n)
+        self.dtype = dtype
+        self.label = label
+
+    def describe(self) -> str:
+        return f"M: mmad {self.m}x{self.k}x{self.n} {self.dtype} {self.label}"
+
+
+class ScalarInstr(Instr):
+    """``count`` scalar operations on the Scalar unit."""
+
+    pipe = Pipe.S
+
+    def __init__(self, count: int, label: str = ""):
+        self.count = int(count)
+        self.label = label
+
+    def describe(self) -> str:
+        return f"S: scalar x{self.count} {self.label}"
+
+
+class Img2ColInstr(Instr):
+    """img2col data-layout transform performed by the MTE (Sec. 4.5)."""
+
+    pipe = Pipe.MTE1
+
+    def __init__(self, nbytes: int, label: str = ""):
+        self.nbytes = int(nbytes)
+        self.label = label
+
+    def describe(self) -> str:
+        return f"MTE1: img2col {self.nbytes}B {self.label}"
+
+
+class SetFlag(Instr):
+    """Signal an event from ``src_pipe`` to ``dst_pipe``."""
+
+    def __init__(self, src_pipe: Pipe, dst_pipe: Pipe, event: int):
+        self.src_pipe = src_pipe
+        self.dst_pipe = dst_pipe
+        self.event = event
+        self.pipe = src_pipe
+
+    def describe(self) -> str:
+        return f"{self.src_pipe.value}: set_flag -> {self.dst_pipe.value} #{self.event}"
+
+
+class WaitFlag(Instr):
+    """Block ``dst_pipe`` until the matching ``SetFlag`` executed."""
+
+    def __init__(self, src_pipe: Pipe, dst_pipe: Pipe, event: int):
+        self.src_pipe = src_pipe
+        self.dst_pipe = dst_pipe
+        self.event = event
+        self.pipe = dst_pipe
+
+    def describe(self) -> str:
+        return f"{self.dst_pipe.value}: wait_flag <- {self.src_pipe.value} #{self.event}"
+
+
+class Barrier(Instr):
+    """Full cross-pipe barrier (pipe_barrier ALL)."""
+
+    def describe(self) -> str:
+        return "barrier(ALL)"
+
+
+class Loop(Instr):
+    """``count`` repetitions of ``body`` (steady-state simulated)."""
+
+    def __init__(self, count: int, body: Sequence[Instr], label: str = ""):
+        if count < 0:
+            raise ValueError("loop count must be non-negative")
+        self.count = int(count)
+        self.body: List[Instr] = list(body)
+        self.label = label
+
+    def describe(self) -> str:
+        return f"loop x{self.count} [{len(self.body)} instrs] {self.label}"
+
+
+class Program:
+    """A compiled kernel: instruction stream + replay metadata.
+
+    ``trace`` optionally carries the statement-instance execution order for
+    the functional executor (see :mod:`repro.codegen.program_exec`);
+    benchmark-only compilations omit it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Sequence[Instr],
+        trace: Optional[List[Any]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.instructions: List[Instr] = list(instructions)
+        self.trace = trace
+        self.metadata = metadata or {}
+
+    def flat_count(self) -> int:
+        """Total instruction count with loops expanded (for reporting)."""
+
+        def count(instrs: Sequence[Instr]) -> int:
+            total = 0
+            for i in instrs:
+                if isinstance(i, Loop):
+                    total += i.count * count(i.body)
+                else:
+                    total += 1
+            return total
+
+        return count(self.instructions)
+
+    def static_count(self) -> int:
+        """Static instruction count (loops counted once)."""
+
+        def count(instrs: Sequence[Instr]) -> int:
+            total = 0
+            for i in instrs:
+                if isinstance(i, Loop):
+                    total += count(i.body)
+                else:
+                    total += 1
+            return total
+
+        return count(self.instructions)
+
+    def dump(self) -> str:
+        """Readable listing of the whole program."""
+
+        def walk(instrs: Sequence[Instr], indent: int) -> Iterable[str]:
+            pad = "  " * indent
+            for i in instrs:
+                if isinstance(i, Loop):
+                    yield f"{pad}loop x{i.count} {{ {i.label}"
+                    yield from walk(i.body, indent + 1)
+                    yield f"{pad}}}"
+                else:
+                    yield pad + i.describe()
+
+        return "\n".join(walk(self.instructions, 0))
+
+    def __repr__(self) -> str:
+        return f"Program({self.name}, {self.static_count()} static instrs)"

@@ -1,0 +1,195 @@
+"""The memory-hierarchy specification language of Fig. 8 (Sec. 4.6).
+
+Grammar (verbatim)::
+
+    buffer       :: string
+    buffer_size  :: integer
+    buffer_spec  :: "buf" buffer ( buffer_size )
+    compute_type :: string in a predefined set
+    in_bufs      :: buffer | in_bufs buffer
+    out_bufs     :: buffer | out_bufs buffer
+    throughput   :: integer
+    alignment    :: integer
+    compute_unit :: compute_type ( in_bufs -> out_bufs, throughput, alignment )
+    dataflow     :: "dataflow" ( in_bufs -> out_bufs, throughput, alignment )
+    npu_stmt     :: compute_unit | buffer_spec | dataflow
+    npu_spec     :: npu_stmt | npu_stmts npu_stmt
+
+Example::
+
+    buf L1 (1048576)
+    buf UB (262144)
+    cube (L0A L0B -> L0C, 4096, 16)
+    vector (UB -> UB, 128, 32)
+    dataflow (GM -> L1, 128, 32)
+
+The parsed specification can be converted into a
+:class:`~repro.hw.spec.HardwareSpec` (``to_hardware_spec``), giving users
+the fine-grained manual control the paper describes for debugging; like
+the paper, the automatic flow never requires it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.spec import HardwareSpec
+
+COMPUTE_TYPES = ("cube", "vector", "scalar", "mte")
+
+
+class NpuSpecError(ValueError):
+    """Raised on malformed Fig. 8 specification text."""
+
+
+class BufferSpec:
+    """``buf NAME (size)``."""
+
+    __slots__ = ("buffer", "size")
+
+    def __init__(self, buffer: str, size: int):
+        if size <= 0:
+            raise NpuSpecError(f"buffer size must be positive, got {size}")
+        self.buffer = buffer
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"buf {self.buffer} ({self.size})"
+
+
+class ComputeUnitSpec:
+    """``type (in... -> out..., throughput, alignment)``."""
+
+    __slots__ = ("compute_type", "in_bufs", "out_bufs", "throughput", "alignment")
+
+    def __init__(self, compute_type, in_bufs, out_bufs, throughput, alignment):
+        if compute_type not in COMPUTE_TYPES:
+            raise NpuSpecError(
+                f"unknown compute type {compute_type!r}; expected {COMPUTE_TYPES}"
+            )
+        if throughput <= 0 or alignment <= 0:
+            raise NpuSpecError("throughput and alignment must be positive")
+        self.compute_type = compute_type
+        self.in_bufs = list(in_bufs)
+        self.out_bufs = list(out_bufs)
+        self.throughput = throughput
+        self.alignment = alignment
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.compute_type} ({' '.join(self.in_bufs)} -> "
+            f"{' '.join(self.out_bufs)}, {self.throughput}, {self.alignment})"
+        )
+
+
+class DataflowSpec:
+    """``dataflow (in... -> out..., throughput, alignment)``."""
+
+    __slots__ = ("in_bufs", "out_bufs", "throughput", "alignment")
+
+    def __init__(self, in_bufs, out_bufs, throughput, alignment):
+        if throughput <= 0 or alignment <= 0:
+            raise NpuSpecError("throughput and alignment must be positive")
+        self.in_bufs = list(in_bufs)
+        self.out_bufs = list(out_bufs)
+        self.throughput = throughput
+        self.alignment = alignment
+
+    def __repr__(self) -> str:
+        return (
+            f"dataflow ({' '.join(self.in_bufs)} -> "
+            f"{' '.join(self.out_bufs)}, {self.throughput}, {self.alignment})"
+        )
+
+
+class NpuSpec:
+    """A parsed sequence of npu statements."""
+
+    def __init__(self, statements: Sequence[object]):
+        self.statements = list(statements)
+
+    @property
+    def buffers(self) -> List[BufferSpec]:
+        return [s for s in self.statements if isinstance(s, BufferSpec)]
+
+    @property
+    def compute_units(self) -> List[ComputeUnitSpec]:
+        return [s for s in self.statements if isinstance(s, ComputeUnitSpec)]
+
+    @property
+    def dataflows(self) -> List[DataflowSpec]:
+        return [s for s in self.statements if isinstance(s, DataflowSpec)]
+
+    def to_hardware_spec(self, base: Optional[HardwareSpec] = None) -> HardwareSpec:
+        """Overlay the specification onto a (default) hardware model."""
+        hw = base or HardwareSpec()
+        capacity = dict(hw.buffer_capacity)
+        for b in self.buffers:
+            capacity[b.buffer] = b.size
+        bandwidth = dict(hw.bandwidth)
+        for df in self.dataflows:
+            for src in df.in_bufs:
+                for dst in df.out_bufs:
+                    bandwidth[(src, dst)] = float(df.throughput)
+        latency = dict(hw.dma_latency)
+        for key in bandwidth:
+            latency.setdefault(key, 20)
+        spec = HardwareSpec(
+            buffer_capacity=capacity,
+            bandwidth=bandwidth,
+            dma_latency=latency,
+            vector_bytes_per_cycle=hw.vector_bytes_per_cycle,
+        )
+        for cu in self.compute_units:
+            if cu.compute_type == "vector":
+                spec.vector_bytes_per_cycle = cu.throughput
+            elif cu.compute_type == "cube":
+                # Throughput is MACs/cycle; keep the fractal block, scale
+                # the per-block cost.
+                bm, bk, bn = spec.cube_block
+                macs_per_block = bm * bk * bn
+                spec.cube_cycles_per_block = max(
+                    int(macs_per_block // cu.throughput), 1
+                )
+        return spec
+
+    def render(self) -> str:
+        """Serialise back to Fig. 8 syntax."""
+        return "\n".join(repr(s) for s in self.statements)
+
+
+_BUF_RE = re.compile(r"^buf\s+(\w+)\s*\(\s*(\d+)\s*\)$")
+_UNIT_RE = re.compile(
+    r"^(\w+)\s*\(\s*([\w\s]+?)\s*->\s*([\w\s]+?)\s*,\s*(\d+)\s*,\s*(\d+)\s*\)$"
+)
+
+
+def parse_npu_spec(text: str) -> NpuSpec:
+    """Parse Fig. 8 specification text."""
+    statements: List[object] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _BUF_RE.match(line)
+        if m:
+            statements.append(BufferSpec(m.group(1), int(m.group(2))))
+            continue
+        m = _UNIT_RE.match(line)
+        if m:
+            head = m.group(1)
+            in_bufs = m.group(2).split()
+            out_bufs = m.group(3).split()
+            throughput, alignment = int(m.group(4)), int(m.group(5))
+            if head == "dataflow":
+                statements.append(
+                    DataflowSpec(in_bufs, out_bufs, throughput, alignment)
+                )
+            else:
+                statements.append(
+                    ComputeUnitSpec(head, in_bufs, out_bufs, throughput, alignment)
+                )
+            continue
+        raise NpuSpecError(f"line {line_no}: cannot parse {raw!r}")
+    return NpuSpec(statements)

@@ -1,0 +1,44 @@
+"""Tensor-expression IR: the TVM-like frontend of the compiler.
+
+- :mod:`repro.ir.expr`    -- scalar expression trees (the "HalideIR" exprs).
+- :mod:`repro.ir.tensor`  -- the ``te`` DSL: placeholder / compute / reduce.
+- :mod:`repro.ir.ops`     -- a library of common DL operators built on te.
+- :mod:`repro.ir.stmt`    -- loop-nest statements for printing lowered code.
+- :mod:`repro.ir.lower`   -- lowering from the DSL to polyhedral statements.
+"""
+
+from repro.ir.expr import (
+    BinaryOp,
+    Cast,
+    Expr,
+    FloatImm,
+    IntImm,
+    IterVar,
+    Reduce,
+    Select,
+    TensorRef,
+    UnaryOp,
+)
+from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis
+from repro.ir.lower import LoweredKernel, PolyStatement, TensorAccess, lower
+
+__all__ = [
+    "Expr",
+    "IntImm",
+    "FloatImm",
+    "IterVar",
+    "TensorRef",
+    "BinaryOp",
+    "UnaryOp",
+    "Select",
+    "Cast",
+    "Reduce",
+    "Tensor",
+    "placeholder",
+    "compute",
+    "reduce_axis",
+    "lower",
+    "LoweredKernel",
+    "PolyStatement",
+    "TensorAccess",
+]

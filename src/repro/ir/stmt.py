@@ -1,0 +1,106 @@
+"""Loop-nest statement IR (the "HalideIR" layer).
+
+The polyhedral flow mostly works on :class:`~repro.ir.lower.PolyStatement`
+plus schedule trees, but a small imperative statement IR is kept for
+pretty-printing lowered kernels and for the CCE code emitter: ``For``
+loops, ``Provide`` (store) statements, ``Block`` sequences, ``IfThenElse``
+guards and free-form ``Evaluate`` nodes (intrinsic calls).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.expr import Expr
+
+
+class Stmt:
+    """Base class of imperative statements."""
+
+    def render(self, indent: int = 0) -> str:
+        """Pretty-print with the given indentation depth."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+class For(Stmt):
+    """``for var in [min, min+extent)`` with an optional annotation.
+
+    ``annotation`` is one of ``None``, ``"vectorized"``, ``"unrolled"``,
+    ``"double_buffered"`` -- mirroring the pragmas CCE codegen attaches.
+    """
+
+    def __init__(
+        self,
+        var: str,
+        min_value,
+        extent,
+        body: Stmt,
+        annotation: Optional[str] = None,
+    ):
+        self.var = var
+        self.min_value = min_value
+        self.extent = extent
+        self.body = body
+        self.annotation = annotation
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        note = f"  // {self.annotation}" if self.annotation else ""
+        head = (
+            f"{pad}for ({self.var} = {self.min_value}; "
+            f"{self.var} < {self.min_value} + {self.extent}; ++{self.var}) {{{note}"
+        )
+        return f"{head}\n{self.body.render(indent + 1)}\n{pad}}}"
+
+
+class Provide(Stmt):
+    """Store ``value`` into ``tensor[indices]``."""
+
+    def __init__(self, tensor_name: str, indices: Sequence, value: Expr):
+        self.tensor_name = tensor_name
+        self.indices = list(indices)
+        self.value = value
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        idx = ", ".join(str(i) for i in self.indices)
+        return f"{pad}{self.tensor_name}[{idx}] = {self.value.to_str()};"
+
+
+class Block(Stmt):
+    """Sequential composition."""
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        self.stmts: List[Stmt] = list(stmts)
+
+    def render(self, indent: int = 0) -> str:
+        return "\n".join(s.render(indent) for s in self.stmts)
+
+
+class IfThenElse(Stmt):
+    """Conditional statement."""
+
+    def __init__(self, condition: str, then_case: Stmt, else_case: Optional[Stmt] = None):
+        self.condition = condition
+        self.then_case = then_case
+        self.else_case = else_case
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        text = f"{pad}if ({self.condition}) {{\n{self.then_case.render(indent + 1)}\n{pad}}}"
+        if self.else_case is not None:
+            text += f" else {{\n{self.else_case.render(indent + 1)}\n{pad}}}"
+        return text
+
+
+class Evaluate(Stmt):
+    """Free-form statement (hardware intrinsic call, comment, pragma)."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def render(self, indent: int = 0) -> str:
+        return f"{'  ' * indent}{self.text}"

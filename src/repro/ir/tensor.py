@@ -1,0 +1,159 @@
+"""The ``te`` tensor-expression DSL (TVM-compatible surface).
+
+Example (the paper's running example, Fig. 3a)::
+
+    A  = placeholder((H, W), name="A")
+    A1 = compute((H, W), lambda h, w: A[h, w] + bias, name="A1")
+    B  = placeholder((KH, KW), name="B")
+    kh = reduce_axis((0, KH), "kh")
+    kw = reduce_axis((0, KW), "kw")
+    C  = compute(
+        (H - KH + 1, W - KW + 1),
+        lambda h, w: te_sum(A1[h + kh, w + kw] * B[kh, kw], axis=(kh, kw)),
+        name="C",
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.expr import Expr, IterVar, Reduce, TensorRef, wrap
+
+_name_counter = itertools.count()
+
+
+def _auto_name(prefix: str) -> str:
+    return f"{prefix}{next(_name_counter)}"
+
+
+class Tensor:
+    """A named multi-dimensional value: either an input or a compute result."""
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[int],
+        dtype: str = "fp32",
+        op: Optional["ComputeOp"] = None,
+    ):
+        self.name = name
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"tensor {name!r} has non-positive extent: {self.shape}")
+        self.dtype = dtype
+        self.op = op  # None for placeholders.
+
+    @property
+    def is_placeholder(self) -> bool:
+        """True when the tensor is an external input."""
+        return self.op is None
+
+    def __getitem__(self, indices) -> TensorRef:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return TensorRef(self, [wrap(i) for i in indices])
+
+    def __repr__(self) -> str:
+        kind = "placeholder" if self.is_placeholder else "compute"
+        return f"Tensor({self.name}, {self.shape}, {self.dtype}, {kind})"
+
+    def ancestors(self) -> List["Tensor"]:
+        """All tensors this one transitively depends on (topological order).
+
+        The result ends with ``self``; placeholders come first.
+        """
+        order: List[Tensor] = []
+        seen = set()
+
+        def visit(t: Tensor) -> None:
+            if id(t) in seen:
+                return
+            seen.add(id(t))
+            if t.op is not None:
+                for dep in t.op.input_tensors():
+                    visit(dep)
+            order.append(t)
+
+        visit(self)
+        return order
+
+
+class ComputeOp:
+    """The defining computation of a non-placeholder tensor."""
+
+    def __init__(self, axes: Sequence[IterVar], body: Expr):
+        self.axes: List[IterVar] = list(axes)
+        self.body = body
+
+    @property
+    def reduce_axes(self) -> List[IterVar]:
+        """Reduction axes when the body is a Reduce (else empty)."""
+        return list(self.body.axes) if isinstance(self.body, Reduce) else []
+
+    def input_tensors(self) -> List[Tensor]:
+        """Distinct tensors read by the body, in first-read order."""
+        from repro.ir.expr import collect_reads
+
+        seen: List[Tensor] = []
+        for ref in collect_reads(self.body):
+            if ref.tensor not in seen:
+                seen.append(ref.tensor)
+        return seen
+
+
+def placeholder(
+    shape: Sequence[int], dtype: str = "fp32", name: Optional[str] = None
+) -> Tensor:
+    """Declare an external input tensor."""
+    return Tensor(name or _auto_name("placeholder"), shape, dtype)
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable[..., Expr],
+    name: Optional[str] = None,
+    dtype: Optional[str] = None,
+) -> Tensor:
+    """Define a tensor by a per-element expression.
+
+    ``fcompute`` receives one :class:`IterVar` per output dimension and
+    returns the scalar expression for that element (optionally a
+    :class:`Reduce` at the root).
+    """
+    name = name or _auto_name("compute")
+    axes = [
+        IterVar(f"{name}_ax{i}", extent, kind="data")
+        for i, extent in enumerate(shape)
+    ]
+    body = wrap(fcompute(*axes))
+    dtype = dtype or body.dtype
+    tensor = Tensor(name, shape, dtype, op=ComputeOp(axes, body))
+    return tensor
+
+
+def reduce_axis(bounds: Tuple[int, int], name: Optional[str] = None) -> IterVar:
+    """Declare a reduction axis over ``[bounds[0], bounds[1])``."""
+    lo, hi = bounds
+    if lo != 0:
+        raise NotImplementedError("reduce_axis currently requires a 0 lower bound")
+    return IterVar(name or _auto_name("red"), hi - lo, kind="reduce", lower=lo)
+
+
+def te_sum(value: Expr, axis: Union[IterVar, Sequence[IterVar]]) -> Reduce:
+    """Sum reduction (TVM's ``te.sum``)."""
+    axes = [axis] if isinstance(axis, IterVar) else list(axis)
+    return Reduce("sum", value, axes)
+
+
+def te_max(value: Expr, axis: Union[IterVar, Sequence[IterVar]]) -> Reduce:
+    """Max reduction."""
+    axes = [axis] if isinstance(axis, IterVar) else list(axis)
+    return Reduce("max", value, axes)
+
+
+def te_min(value: Expr, axis: Union[IterVar, Sequence[IterVar]]) -> Reduce:
+    """Min reduction."""
+    axes = [axis] if isinstance(axis, IterVar) else list(axis)
+    return Reduce("min", value, axes)

@@ -1,0 +1,263 @@
+"""Affine expressions over named dimensions.
+
+An :class:`AffineExpr` is a linear combination of named variables plus an
+integer (rational) constant: ``3*h + 2*w - 5``.  It is the atom from which
+polyhedral constraints, access relations and schedules are built.
+
+Expressions are immutable; arithmetic returns new objects.  Coefficients are
+:class:`fractions.Fraction` internally but are normally integral -- the
+polyhedral layer normalises constraints to integer coefficients.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, Fraction]
+Coeffs = Dict[str, Fraction]
+
+
+class AffineExpr:
+    """Immutable affine expression ``sum(coeff[v] * v) + const``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[str, Number] | None = None, const: Number = 0):
+        clean: Coeffs = {}
+        for name, c in (coeffs or {}).items():
+            f = Fraction(c)
+            if f != 0:
+                clean[name] = f
+        self.coeffs: Coeffs = clean
+        self.const: Fraction = Fraction(const)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def constant(value: Number) -> "AffineExpr":
+        """An expression that is just a constant."""
+        return AffineExpr({}, value)
+
+    @staticmethod
+    def variable(name: str) -> "AffineExpr":
+        """The expression ``1 * name``."""
+        return AffineExpr({name: 1}, 0)
+
+    # -- queries -----------------------------------------------------------
+
+    def coeff(self, name: str) -> Fraction:
+        """Coefficient of ``name`` (0 when absent)."""
+        return self.coeffs.get(name, Fraction(0))
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names of variables with nonzero coefficient, sorted."""
+        return tuple(sorted(self.coeffs))
+
+    def is_constant(self) -> bool:
+        """True when no variable has a nonzero coefficient."""
+        return not self.coeffs
+
+    def is_integral(self) -> bool:
+        """True when all coefficients and the constant are integers."""
+        return self.const.denominator == 1 and all(
+            c.denominator == 1 for c in self.coeffs.values()
+        )
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Evaluate under an assignment of every variable."""
+        total = self.const
+        for name, c in self.coeffs.items():
+            total += c * Fraction(env[name])
+        return total
+
+    def substitute(self, env: Mapping[str, "AffineExpr | Number"]) -> "AffineExpr":
+        """Substitute variables by expressions (or numbers)."""
+        result = AffineExpr.constant(self.const)
+        for name, c in self.coeffs.items():
+            if name in env:
+                repl = env[name]
+                if not isinstance(repl, AffineExpr):
+                    repl = AffineExpr.constant(repl)
+                result = result + repl * c
+            else:
+                result = result + AffineExpr({name: c})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        """Rename variables according to ``mapping`` (missing names kept)."""
+        return AffineExpr(
+            {mapping.get(name, name): c for name, c in self.coeffs.items()}, self.const
+        )
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "AffineExpr | Number") -> "AffineExpr":
+        if not isinstance(other, AffineExpr):
+            return AffineExpr(self.coeffs, self.const + Fraction(other))
+        coeffs = dict(self.coeffs)
+        for name, c in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + c
+        return AffineExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({n: -c for n, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other: "AffineExpr | Number") -> "AffineExpr":
+        if not isinstance(other, AffineExpr):
+            return AffineExpr(self.coeffs, self.const - Fraction(other))
+        return self + (-other)
+
+    def __rsub__(self, other: Number) -> "AffineExpr":
+        return (-self) + other
+
+    def __mul__(self, factor: Number) -> "AffineExpr":
+        f = Fraction(factor)
+        return AffineExpr({n: c * f for n, c in self.coeffs.items()}, self.const * f)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return hash((tuple(sorted(self.coeffs.items())), self.const))
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self.coeffs):
+            c = self.coeffs[name]
+            if c == 1:
+                parts.append(f"{name}")
+            elif c == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{c}*{name}")
+        if self.const != 0 or not parts:
+            parts.append(str(self.const))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+
+def var(name: str) -> AffineExpr:
+    """Shorthand for :meth:`AffineExpr.variable`."""
+    return AffineExpr.variable(name)
+
+
+def aff(coeffs: Mapping[str, Number] | None = None, const: Number = 0) -> AffineExpr:
+    """Shorthand constructor for an affine expression."""
+    return AffineExpr(coeffs, const)
+
+
+class Constraint:
+    """An affine constraint ``expr >= 0`` (inequality) or ``expr == 0``.
+
+    Constraints are normalised on construction: coefficients are scaled to
+    coprime integers (for inequalities the constant is tightened with a floor
+    division, which is exact for integer points).
+    """
+
+    __slots__ = ("expr", "is_equality")
+
+    def __init__(self, expr: AffineExpr, is_equality: bool = False):
+        self.expr = _normalize(expr, is_equality)
+        self.is_equality = is_equality
+
+    @staticmethod
+    def ge(lhs: AffineExpr | Number, rhs: AffineExpr | Number = 0) -> "Constraint":
+        """Constraint ``lhs >= rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs), False)
+
+    @staticmethod
+    def le(lhs: AffineExpr | Number, rhs: AffineExpr | Number = 0) -> "Constraint":
+        """Constraint ``lhs <= rhs``."""
+        return Constraint(_as_expr(rhs) - _as_expr(lhs), False)
+
+    @staticmethod
+    def eq(lhs: AffineExpr | Number, rhs: AffineExpr | Number = 0) -> "Constraint":
+        """Constraint ``lhs == rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs), True)
+
+    def variables(self) -> Tuple[str, ...]:
+        """Variables appearing in the constraint."""
+        return self.expr.variables()
+
+    def satisfied(self, env: Mapping[str, Number]) -> bool:
+        """Check the constraint under a full assignment."""
+        value = self.expr.evaluate(env)
+        return value == 0 if self.is_equality else value >= 0
+
+    def negate(self) -> "Constraint":
+        """Integer negation of an inequality: ``not(e >= 0)`` is ``-e-1 >= 0``.
+
+        Negating an equality is not representable as a single constraint and
+        raises ``ValueError`` (callers split it into two inequalities first).
+        """
+        if self.is_equality:
+            raise ValueError("cannot negate an equality into one constraint")
+        return Constraint((-self.expr) - 1, False)
+
+    def substitute(self, env: Mapping[str, AffineExpr | Number]) -> "Constraint":
+        """Substitute variables (returns a new constraint)."""
+        return Constraint(self.expr.substitute(env), self.is_equality)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        """Rename variables (returns a new constraint)."""
+        return Constraint(self.expr.rename(mapping), self.is_equality)
+
+    def is_trivially_true(self) -> bool:
+        """Constant constraint that always holds."""
+        if not self.expr.is_constant():
+            return False
+        return self.expr.const == 0 if self.is_equality else self.expr.const >= 0
+
+    def is_trivially_false(self) -> bool:
+        """Constant constraint that never holds."""
+        if not self.expr.is_constant():
+            return False
+        return self.expr.const != 0 if self.is_equality else self.expr.const < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.is_equality == other.is_equality and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return hash((self.expr, self.is_equality))
+
+    def __repr__(self) -> str:
+        op = "=" if self.is_equality else ">="
+        return f"{self.expr} {op} 0"
+
+
+def _as_expr(value: AffineExpr | Number) -> AffineExpr:
+    return value if isinstance(value, AffineExpr) else AffineExpr.constant(value)
+
+
+def _normalize(expr: AffineExpr, is_equality: bool) -> AffineExpr:
+    """Scale to coprime integer coefficients; tighten inequality constants."""
+    from repro.poly.linalg import gcd_list
+
+    denoms = [c.denominator for c in expr.coeffs.values()] + [expr.const.denominator]
+    lcm = 1
+    for d in denoms:
+        from math import gcd as _gcd
+
+        lcm = lcm * d // _gcd(lcm, d)
+    coeffs = {n: c * lcm for n, c in expr.coeffs.items()}
+    const = expr.const * lcm
+    g = gcd_list([int(c) for c in coeffs.values()])
+    if g > 1:
+        if is_equality:
+            if int(const) % g == 0:
+                coeffs = {n: c / g for n, c in coeffs.items()}
+                const = const / g
+        else:
+            # floor(const / g) is the tightest integral bound.
+            coeffs = {n: c / g for n, c in coeffs.items()}
+            const = Fraction(int(const) // g) if const.denominator == 1 else const / g
+    return AffineExpr(coeffs, const)

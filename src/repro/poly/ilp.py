@@ -1,0 +1,499 @@
+"""Exact linear and integer-linear programming.
+
+The polyhedral layer needs four decision procedures:
+
+- rational feasibility / optimisation  (Pluto-style scheduling LPs),
+- integer feasibility                  (emptiness of integer sets),
+- integer optimisation                 (per-dimension bounds, footprints),
+- lexicographic minima                 (AST generation, sampling).
+
+All are provided here by a dense two-phase simplex over
+:class:`fractions.Fraction` (Bland's rule, hence guaranteed termination)
+with branch-and-bound layered on top for integrality.  Problem sizes in
+this code base are tiny (tens of variables), so a textbook implementation
+is both adequate and auditable.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.poly.affine import AffineExpr, Constraint
+
+
+class IlpStatus(Enum):
+    """Outcome of an (I)LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+class IlpResult:
+    """Solution record: status, objective value and variable assignment."""
+
+    __slots__ = ("status", "value", "assignment")
+
+    def __init__(
+        self,
+        status: IlpStatus,
+        value: Optional[Fraction] = None,
+        assignment: Optional[Dict[str, Fraction]] = None,
+    ):
+        self.status = status
+        self.value = value
+        self.assignment = assignment or {}
+
+    def __repr__(self) -> str:
+        return f"IlpResult({self.status.value}, {self.value}, {self.assignment})"
+
+
+class IlpProblem:
+    """A conjunction of affine constraints over named variables.
+
+    The problem owns a list of :class:`Constraint`; variables are discovered
+    from the constraints and the objective.  ``minimize``/``maximize`` solve
+    either the rational relaxation (``integer=False``) or the integer
+    program.
+    """
+
+    # Branch-and-bound node budget; polyhedral problems here are small, so
+    # hitting this indicates a bug rather than genuine hardness.
+    MAX_BB_NODES = 20000
+
+    def __init__(self, constraints: Optional[Sequence[Constraint]] = None):
+        self.constraints: List[Constraint] = list(constraints or [])
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Append one constraint."""
+        self.constraints.append(constraint)
+
+    def add_constraints(self, constraints: Sequence[Constraint]) -> None:
+        """Append several constraints."""
+        self.constraints.extend(constraints)
+
+    def variables(self) -> List[str]:
+        """All variable names referenced by the constraints, sorted."""
+        names = set()
+        for c in self.constraints:
+            names.update(c.variables())
+        return sorted(names)
+
+    # -- public solving interface -------------------------------------------
+
+    def minimize(self, objective: AffineExpr, integer: bool = True) -> IlpResult:
+        """Minimise ``objective`` subject to the constraints.
+
+        A presolve phase substitutes away unit-coefficient equalities (very
+        common in dependence relations) and solves pure interval systems
+        directly; the simplex/branch-and-bound only sees the residual.
+        """
+        constraints, objective, back_subst = _presolve_equalities(
+            self.constraints, objective
+        )
+        names = sorted(
+            {v for c in constraints for v in c.variables()}
+            | set(objective.variables())
+        )
+        interval = _interval_solve(constraints, objective, names, integer)
+        if interval is not None:
+            result = interval
+        elif integer:
+            result = _branch_and_bound(constraints, objective, names)
+        else:
+            result = _simplex_solve(constraints, objective, names)
+        if result.status is IlpStatus.OPTIMAL and back_subst:
+            assignment = dict(result.assignment)
+            for name, expr in reversed(back_subst):
+                assignment[name] = expr.evaluate(assignment)
+            result = IlpResult(result.status, result.value, assignment)
+        return result
+
+    def maximize(self, objective: AffineExpr, integer: bool = True) -> IlpResult:
+        """Maximise ``objective`` subject to the constraints."""
+        result = self.minimize(objective * -1, integer=integer)
+        if result.status is IlpStatus.OPTIMAL:
+            return IlpResult(result.status, -result.value, result.assignment)
+        return result
+
+    def is_feasible(self, integer: bool = True) -> bool:
+        """Check whether any (integer) point satisfies all constraints."""
+        result = self.minimize(AffineExpr.constant(0), integer=integer)
+        return result.status is IlpStatus.OPTIMAL
+
+    def sample(self) -> Optional[Dict[str, int]]:
+        """Return one integer point, or ``None`` when infeasible."""
+        point = self.lexmin(self.variables())
+        return point
+
+    def lexmin(self, order: Sequence[str]) -> Optional[Dict[str, int]]:
+        """Lexicographic integer minimum along ``order``.
+
+        Dimensions unbounded below make the lexmin undefined; this raises
+        ``ValueError`` in that case (polyhedral domains here are bounded).
+        """
+        extra: List[Constraint] = []
+        point: Dict[str, int] = {}
+        for name in order:
+            problem = IlpProblem(self.constraints + extra)
+            result = problem.minimize(AffineExpr.variable(name), integer=True)
+            if result.status is IlpStatus.INFEASIBLE:
+                return None
+            if result.status is IlpStatus.UNBOUNDED:
+                raise ValueError(f"lexmin: dimension {name!r} unbounded below")
+            value = int(result.value)
+            point[name] = value
+            extra.append(Constraint.eq(AffineExpr.variable(name), value))
+        return point
+
+    def lexmax(self, order: Sequence[str]) -> Optional[Dict[str, int]]:
+        """Lexicographic integer maximum along ``order``."""
+        extra: List[Constraint] = []
+        point: Dict[str, int] = {}
+        for name in order:
+            problem = IlpProblem(self.constraints + extra)
+            result = problem.maximize(AffineExpr.variable(name), integer=True)
+            if result.status is IlpStatus.INFEASIBLE:
+                return None
+            if result.status is IlpStatus.UNBOUNDED:
+                raise ValueError(f"lexmax: dimension {name!r} unbounded above")
+            value = int(result.value)
+            point[name] = value
+            extra.append(Constraint.eq(AffineExpr.variable(name), value))
+        return point
+
+
+# -- presolve -----------------------------------------------------------------
+
+
+def _presolve_equalities(
+    constraints: Sequence[Constraint], objective: AffineExpr
+) -> Tuple[List[Constraint], AffineExpr, List[Tuple[str, AffineExpr]]]:
+    """Substitute away equalities with a +-1 coefficient variable.
+
+    Unit-coefficient substitution is exact over the integers, so the
+    reduced problem has the same optimum.  Returns the reduced system, the
+    rewritten objective, and the back-substitution list (applied in
+    reverse to recover eliminated variables).
+    """
+    current = list(constraints)
+    back: List[Tuple[str, AffineExpr]] = []
+    changed = True
+    guard = 0
+    while changed and guard < 256:
+        guard += 1
+        changed = False
+        for i, c in enumerate(current):
+            if not c.is_equality:
+                continue
+            target = None
+            for name in c.expr.coeffs:
+                if abs(c.expr.coeffs[name]) == 1:
+                    target = name
+                    break
+            if target is None:
+                continue
+            a = c.expr.coeff(target)
+            rest = c.expr - AffineExpr({target: a})
+            replacement = rest * (-1 / a)
+            back.append((target, replacement))
+            env = {target: replacement}
+            next_cons = []
+            for j, other in enumerate(current):
+                if j == i:
+                    continue
+                if other.expr.coeff(target) != 0:
+                    other = other.substitute(env)
+                if other.is_trivially_true():
+                    continue
+                next_cons.append(other)
+            current = next_cons
+            if objective.coeff(target) != 0:
+                objective = objective.substitute(env)
+            changed = True
+            break
+    return current, objective, back
+
+
+def _interval_solve(
+    constraints: Sequence[Constraint],
+    objective: AffineExpr,
+    names: Sequence[str],
+    integer: bool,
+) -> Optional[IlpResult]:
+    """Direct solution when every constraint bounds a single variable.
+
+    Returns ``None`` when the system is not interval-shaped.  Constraint
+    normalisation guarantees single-variable inequalities have coefficient
+    +-1 with an integral bound, so the interval optimum is exact for both
+    the integer and the rational problem.
+    """
+    lo: Dict[str, Fraction] = {}
+    hi: Dict[str, Fraction] = {}
+    for c in constraints:
+        vars_in = c.variables()
+        if len(vars_in) == 0:
+            if c.is_trivially_false():
+                return IlpResult(IlpStatus.INFEASIBLE)
+            continue
+        if len(vars_in) > 1:
+            return None
+        name = vars_in[0]
+        a = c.expr.coeff(name)
+        bound = -c.expr.const / a
+        if c.is_equality:
+            if integer and bound.denominator != 1:
+                return IlpResult(IlpStatus.INFEASIBLE)
+            lo[name] = max(lo.get(name, bound), bound)
+            hi[name] = min(hi.get(name, bound), bound)
+        elif a > 0:  # name >= bound
+            lo[name] = max(lo.get(name, bound), bound)
+        else:  # name <= bound
+            hi[name] = min(hi.get(name, bound), bound)
+
+    assignment: Dict[str, Fraction] = {}
+    for name in names:
+        low = lo.get(name)
+        high = hi.get(name)
+        if integer:
+            low = None if low is None else Fraction(-(-low.numerator // low.denominator))
+            high = None if high is None else Fraction(high.numerator // high.denominator)
+        if low is not None and high is not None and low > high:
+            return IlpResult(IlpStatus.INFEASIBLE)
+        coeff = objective.coeff(name)
+        if coeff > 0:
+            pick = low
+        elif coeff < 0:
+            pick = high
+        else:
+            pick = low if low is not None else (high if high is not None else Fraction(0))
+        if pick is None:
+            return IlpResult(IlpStatus.UNBOUNDED)
+        assignment[name] = pick
+    value = objective.evaluate(assignment)
+    return IlpResult(IlpStatus.OPTIMAL, value, assignment)
+
+
+# -- simplex core ------------------------------------------------------------
+
+
+def _simplex_solve(
+    constraints: Sequence[Constraint], objective: AffineExpr, names: Sequence[str]
+) -> IlpResult:
+    """Solve the rational LP ``min objective s.t. constraints``.
+
+    Free variables are split as ``v = v+ - v-``; inequalities get slack
+    variables; feasibility is established by a phase-1 with artificial
+    variables.  Bland's rule prevents cycling.
+    """
+    for c in constraints:
+        if c.is_trivially_false():
+            return IlpResult(IlpStatus.INFEASIBLE)
+    names = list(names)
+    n = len(names)
+    index = {name: i for i, name in enumerate(names)}
+
+    # Column layout: [v0+, v0-, v1+, v1-, ..., slacks..., artificials...]
+    rows: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    n_slacks = sum(1 for c in constraints if not c.is_equality)
+    slack_at = 2 * n
+    total_structural = 2 * n + n_slacks
+
+    slack_idx = 0
+    for c in constraints:
+        if c.is_trivially_true():
+            if not c.is_equality:
+                slack_idx += 0  # no slack allocated for skipped rows
+            continue
+        row = [Fraction(0)] * total_structural
+        for name, coeff in c.expr.coeffs.items():
+            j = index[name]
+            row[2 * j] = coeff
+            row[2 * j + 1] = -coeff
+        b = -c.expr.const
+        if not c.is_equality:
+            # expr >= 0  <=>  expr - s = 0, s >= 0  <=>  a.x - s = b
+            row[slack_at + slack_idx] = Fraction(-1)
+            slack_idx += 1
+        if b < 0:
+            row = [-x for x in row]
+            b = -b
+        rows.append(row)
+        rhs.append(b)
+
+    n_rows = len(rows)
+    # Trim unused slack columns (from skipped trivial rows).
+    used_cols = total_structural
+    # Artificial variables, one per row.
+    for i, row in enumerate(rows):
+        row.extend(Fraction(int(k == i)) for k in range(n_rows))
+    n_cols = used_cols + n_rows
+
+    basis = [used_cols + i for i in range(n_rows)]
+    tableau = [list(row) + [rhs[i]] for i, row in enumerate(rows)]
+
+    # Phase 1: minimise the sum of artificial variables.
+    cost1 = [Fraction(0)] * n_cols
+    for j in range(used_cols, n_cols):
+        cost1[j] = Fraction(1)
+    status = _simplex_iterate(tableau, basis, cost1, n_cols)
+    if status is IlpStatus.UNBOUNDED:  # pragma: no cover - phase 1 is bounded
+        raise RuntimeError("phase-1 LP cannot be unbounded")
+    phase1_value = _objective_value(tableau, basis, cost1)
+    if phase1_value != 0:
+        return IlpResult(IlpStatus.INFEASIBLE)
+    _drive_out_artificials(tableau, basis, used_cols, n_cols)
+
+    # Phase 2: original objective over structural columns only.
+    cost2 = [Fraction(0)] * n_cols
+    for name, coeff in objective.coeffs.items():
+        j = index[name]
+        cost2[2 * j] = coeff
+        cost2[2 * j + 1] = -coeff
+    status = _simplex_iterate(tableau, basis, cost2, used_cols)
+    if status is IlpStatus.UNBOUNDED:
+        return IlpResult(IlpStatus.UNBOUNDED)
+
+    assignment: Dict[str, Fraction] = {name: Fraction(0) for name in names}
+    for row_idx, col in enumerate(basis):
+        if col < 2 * n:
+            name = names[col // 2]
+            sign = 1 if col % 2 == 0 else -1
+            assignment[name] += sign * tableau[row_idx][-1]
+    value = objective.evaluate(assignment)
+    return IlpResult(IlpStatus.OPTIMAL, value, assignment)
+
+
+def _objective_value(
+    tableau: List[List[Fraction]], basis: List[int], cost: List[Fraction]
+) -> Fraction:
+    return sum(
+        (cost[col] * tableau[i][-1] for i, col in enumerate(basis)), Fraction(0)
+    )
+
+
+def _reduced_costs(
+    tableau: List[List[Fraction]], basis: List[int], cost: List[Fraction], n_cols: int
+) -> List[Fraction]:
+    # y = c_B B^-1 is implicit: reduced cost_j = c_j - sum_i c_{basis_i} T[i][j]
+    reduced = list(cost[:n_cols])
+    for i, col in enumerate(basis):
+        cb = cost[col]
+        if cb != 0:
+            row = tableau[i]
+            for j in range(n_cols):
+                if row[j] != 0:
+                    reduced[j] -= cb * row[j]
+    return reduced
+
+
+def _simplex_iterate(
+    tableau: List[List[Fraction]],
+    basis: List[int],
+    cost: List[Fraction],
+    allowed_cols: int,
+) -> IlpStatus:
+    """Run simplex pivots (Bland's rule) until optimal or unbounded."""
+    n_rows = len(tableau)
+    while True:
+        reduced = _reduced_costs(tableau, basis, cost, allowed_cols)
+        enter = next((j for j in range(allowed_cols) if reduced[j] < 0), None)
+        if enter is None:
+            return IlpStatus.OPTIMAL
+        # Ratio test, Bland tie-break on basis variable index.
+        leave = None
+        best_ratio: Optional[Fraction] = None
+        for i in range(n_rows):
+            a = tableau[i][enter]
+            if a > 0:
+                ratio = tableau[i][-1] / a
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and basis[i] < basis[leave])
+                ):
+                    best_ratio = ratio
+                    leave = i
+        if leave is None:
+            return IlpStatus.UNBOUNDED
+        _pivot(tableau, basis, leave, enter)
+
+
+def _pivot(
+    tableau: List[List[Fraction]], basis: List[int], row: int, col: int
+) -> None:
+    pivot = tableau[row][col]
+    tableau[row] = [x / pivot for x in tableau[row]]
+    for i, trow in enumerate(tableau):
+        if i != row and trow[col] != 0:
+            factor = trow[col]
+            tableau[i] = [x - factor * y for x, y in zip(trow, tableau[row])]
+    basis[row] = col
+
+
+def _drive_out_artificials(
+    tableau: List[List[Fraction]], basis: List[int], used_cols: int, n_cols: int
+) -> None:
+    """Pivot basic artificial variables out of the basis when possible."""
+    for i in range(len(basis)):
+        if basis[i] >= used_cols:
+            col = next((j for j in range(used_cols) if tableau[i][j] != 0), None)
+            if col is not None:
+                _pivot(tableau, basis, i, col)
+            # Otherwise the row is all-zero over structural columns
+            # (redundant constraint); leaving the artificial basic at 0 is
+            # harmless for phase 2.
+
+
+# -- branch and bound ---------------------------------------------------------
+
+
+def _branch_and_bound(
+    constraints: Sequence[Constraint], objective: AffineExpr, names: Sequence[str]
+) -> IlpResult:
+    """Integer minimisation by LP-relaxation branch and bound."""
+    best: Optional[IlpResult] = None
+    stack: List[List[Constraint]] = [list(constraints)]
+    nodes = 0
+    while stack:
+        nodes += 1
+        if nodes > IlpProblem.MAX_BB_NODES:
+            raise RuntimeError("branch-and-bound node budget exhausted")
+        current = stack.pop()
+        relax = _simplex_solve(current, objective, names)
+        if relax.status is IlpStatus.INFEASIBLE:
+            continue
+        if relax.status is IlpStatus.UNBOUNDED:
+            # The integer problem over a rationally unbounded region is
+            # unbounded too whenever it is feasible at all; report it.
+            return IlpResult(IlpStatus.UNBOUNDED)
+        if best is not None and relax.value >= best.value:
+            continue  # Bound: cannot improve.
+        frac_name = next(
+            (
+                name
+                for name in names
+                if relax.assignment.get(name, Fraction(0)).denominator != 1
+            ),
+            None,
+        )
+        if frac_name is None:
+            if best is None or relax.value < best.value:
+                best = IlpResult(
+                    IlpStatus.OPTIMAL,
+                    relax.value,
+                    {k: v for k, v in relax.assignment.items()},
+                )
+            continue
+        value = relax.assignment[frac_name]
+        floor_v = value.numerator // value.denominator
+        below = current + [Constraint.le(AffineExpr.variable(frac_name), floor_v)]
+        above = current + [Constraint.ge(AffineExpr.variable(frac_name), floor_v + 1)]
+        stack.append(below)
+        stack.append(above)
+    if best is None:
+        return IlpResult(IlpStatus.INFEASIBLE)
+    return best

@@ -1,0 +1,5 @@
+"""Runtime layer: reference (oracle) execution and program interpretation."""
+
+from repro.runtime.reference import evaluate_kernel, evaluate_tensors, numpy_dtype
+
+__all__ = ["evaluate_kernel", "evaluate_tensors", "numpy_dtype"]

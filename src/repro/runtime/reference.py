@@ -1,0 +1,217 @@
+"""Reference execution of lowered kernels (the correctness oracle).
+
+``evaluate_kernel`` runs the :class:`~repro.ir.lower.PolyStatement` list of
+a lowered kernel directly, statement by statement, instance by instance --
+the simplest possible semantics.  Every compiler path in this repository
+(AKG, the TVM-like baseline, the CCE baselines) must produce results that
+match this oracle; integration tests enforce it.
+
+Python-level loops bound the usable shapes (tests use small tensors); the
+benchmark harness never needs numerics, only simulated cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.expr import (
+    BinaryOp,
+    Cast,
+    Expr,
+    FloatImm,
+    IntImm,
+    IterVar,
+    Reduce,
+    Select,
+    TensorRef,
+    UnaryOp,
+)
+from repro.ir.lower import LoweredKernel, PolyStatement, lower
+from repro.ir.tensor import Tensor
+
+_DTYPES = {"fp16": np.float16, "fp32": np.float32, "int32": np.int32}
+
+
+def numpy_dtype(dtype: str) -> np.dtype:
+    """Map an IR dtype string to the numpy dtype used for storage."""
+    try:
+        return np.dtype(_DTYPES[dtype])
+    except KeyError:
+        raise ValueError(f"unknown dtype {dtype!r}") from None
+
+
+def eval_expr(
+    expr: Expr,
+    env: Mapping[int, int],
+    buffers: Mapping[str, np.ndarray],
+) -> float:
+    """Evaluate a scalar expression.
+
+    ``env`` maps ``id(IterVar)`` to the current integer value; ``buffers``
+    maps tensor names to numpy arrays.  ``Select`` evaluates lazily so
+    guarded out-of-bounds reads (zero padding) never touch memory.
+    """
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, FloatImm):
+        return expr.value
+    if isinstance(expr, IterVar):
+        return env[id(expr)]
+    if isinstance(expr, TensorRef):
+        idx = tuple(int(eval_expr(i, env, buffers)) for i in expr.indices)
+        return float(buffers[expr.tensor.name][idx])
+    if isinstance(expr, Cast):
+        value = eval_expr(expr.a, env, buffers)
+        return float(np.asarray(value).astype(numpy_dtype(expr.dtype)))
+    if isinstance(expr, Select):
+        cond = eval_expr(expr.cond, env, buffers)
+        branch = expr.if_true if cond else expr.if_false
+        return eval_expr(branch, env, buffers)
+    if isinstance(expr, UnaryOp):
+        a = eval_expr(expr.a, env, buffers)
+        return _eval_unary(expr.op, a)
+    if isinstance(expr, BinaryOp):
+        a = eval_expr(expr.a, env, buffers)
+        b = eval_expr(expr.b, env, buffers)
+        return _eval_binary(expr.op, a, b)
+    if isinstance(expr, Reduce):
+        raise ValueError("Reduce must be lowered before evaluation")
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_unary(op: str, a: float) -> float:
+    if op == "neg":
+        return -a
+    if op == "abs":
+        return abs(a)
+    if op == "exp":
+        return math.exp(a)
+    if op == "log":
+        return math.log(a)
+    if op == "sqrt":
+        return math.sqrt(a)
+    if op == "rsqrt":
+        return 1.0 / math.sqrt(a)
+    if op == "relu":
+        return a if a > 0 else 0.0
+    if op == "sigmoid":
+        return 1.0 / (1.0 + math.exp(-a))
+    if op == "tanh":
+        return math.tanh(a)
+    if op == "floor":
+        return math.floor(a)
+    if op == "ceil":
+        return math.ceil(a)
+    if op == "not":
+        return 0.0 if a else 1.0
+    raise ValueError(f"unknown unary op {op!r}")
+
+
+def _eval_binary(op: str, a: float, b: float) -> float:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a / b
+    if op == "max":
+        return max(a, b)
+    if op == "min":
+        return min(a, b)
+    if op == "pow":
+        return a ** b
+    if op == "eq":
+        return 1.0 if a == b else 0.0
+    if op == "ne":
+        return 1.0 if a != b else 0.0
+    if op == "lt":
+        return 1.0 if a < b else 0.0
+    if op == "le":
+        return 1.0 if a <= b else 0.0
+    if op == "gt":
+        return 1.0 if a > b else 0.0
+    if op == "ge":
+        return 1.0 if a >= b else 0.0
+    if op == "and":
+        return 1.0 if (a and b) else 0.0
+    if op == "or":
+        return 1.0 if (a or b) else 0.0
+    raise ValueError(f"unknown binary op {op!r}")
+
+
+_REDUCE_COMBINE = {
+    "sum": lambda acc, v: acc + v,
+    "prod": lambda acc, v: acc * v,
+    "max": max,
+    "min": min,
+}
+
+
+def run_instance(
+    stmt: PolyStatement,
+    point: Sequence[int],
+    buffers: Mapping[str, np.ndarray],
+) -> None:
+    """Execute one dynamic instance of a statement at ``point``."""
+    name_to_iv = {name: iv_id for iv_id, name in stmt.var_names.items()}
+    env = {
+        name_to_iv[name]: value for name, value in zip(stmt.iter_names, point)
+    }
+    name_env = dict(zip(stmt.iter_names, point))
+    write_idx = tuple(int(e.evaluate(name_env)) for e in stmt.write.indices)
+    value = eval_expr(stmt.expr, env, buffers)
+    out = buffers[stmt.tensor.name]
+    if stmt.kind == "reduce":
+        combine = _REDUCE_COMBINE[stmt.reduce_op or "sum"]
+        out[write_idx] = combine(float(out[write_idx]), value)
+    else:
+        out[write_idx] = value
+
+
+def run_statement(
+    stmt: PolyStatement, buffers: Dict[str, np.ndarray]
+) -> None:
+    """Execute every instance of one statement against ``buffers``."""
+    ranges = [range(extent) for extent in stmt.iter_extents]
+    for point in itertools.product(*ranges):
+        run_instance(stmt, point, buffers)
+
+
+def evaluate_kernel(
+    kernel: LoweredKernel, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Run a lowered kernel; returns buffers for the kernel outputs.
+
+    ``inputs`` maps placeholder names to arrays of matching shape.
+    """
+    buffers: Dict[str, np.ndarray] = {}
+    for t in kernel.inputs:
+        if t.name not in inputs:
+            raise KeyError(f"missing input tensor {t.name!r}")
+        arr = np.asarray(inputs[t.name], dtype=numpy_dtype(t.dtype))
+        if arr.shape != t.shape:
+            raise ValueError(
+                f"input {t.name!r}: expected shape {t.shape}, got {arr.shape}"
+            )
+        buffers[t.name] = arr
+    for stmt in kernel.statements:
+        if stmt.tensor.name not in buffers:
+            buffers[stmt.tensor.name] = np.zeros(
+                stmt.tensor.shape, dtype=numpy_dtype(stmt.tensor.dtype)
+            )
+        run_statement(stmt, buffers)
+    return {t.name: buffers[t.name] for t in kernel.outputs}
+
+
+def evaluate_tensors(
+    outputs: Sequence[Tensor] | Tensor, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Convenience: lower then evaluate in one call."""
+    kernel = lower(outputs)
+    return evaluate_kernel(kernel, inputs)

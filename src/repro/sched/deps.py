@@ -1,0 +1,213 @@
+"""Dependence analysis over polyhedral statements.
+
+For every pair of accesses to the same tensor (at least one being a write)
+we build the dependence relation as a :class:`~repro.poly.maps.BasicMap`
+from source instances to destination instances:
+
+    { S_src(i) -> S_dst(i') :  Acc_src(i) = Acc_dst(i')
+                               and both in their domains
+                               and S_src(i) executes before S_dst(i') }
+
+For distinct statements, textual order provides "executes before"; for
+self-dependences (reduction updates) the lexicographic order is encoded as
+a union of per-level relations.  Dependences drive the Pluto scheduler,
+legality checking, fusion clustering and the reverse tiling strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.lower import LoweredKernel, PolyStatement, TensorAccess
+from repro.poly.affine import AffineExpr, Constraint
+from repro.poly.maps import BasicMap
+from repro.poly.sets import BasicSet, Space
+
+
+class Dependence:
+    """One dependence edge between two statements."""
+
+    __slots__ = ("src", "dst", "relation", "kind", "tensor_name", "rename")
+
+    def __init__(
+        self,
+        src: PolyStatement,
+        dst: PolyStatement,
+        relation: BasicMap,
+        kind: str,
+        tensor_name: str,
+        rename: Dict[str, str],
+    ):
+        if kind not in ("flow", "anti", "output"):
+            raise ValueError(f"bad dependence kind {kind!r}")
+        self.src = src
+        self.dst = dst
+        self.relation = relation  # src dims -> renamed dst dims
+        self.kind = kind
+        self.tensor_name = tensor_name
+        # Mapping from dst statement dim names to the renamed (primed)
+        # names used on the relation's output side.
+        self.rename = rename
+
+    @property
+    def is_self(self) -> bool:
+        """True for a dependence of a statement on itself."""
+        return self.src is self.dst
+
+    def distance_vector(self) -> Optional[List[Optional[int]]]:
+        """Per-dimension constant distance when src/dst dims align.
+
+        Returns one entry per common dimension position: the constant
+        ``dst_dim - src_dim`` when it is constant over the relation, else
+        ``None`` for that entry.  Returns ``None`` entirely when the
+        statements have different dimensionality.
+        """
+        if len(self.src.iter_names) != len(self.dst.iter_names):
+            return None
+        out: List[Optional[int]] = []
+        for s_dim, d_dim in zip(self.src.iter_names, self.dst.iter_names):
+            delta = AffineExpr.variable(self.rename[d_dim]) - AffineExpr.variable(
+                s_dim
+            )
+            lo = _expr_min(self.relation, delta)
+            hi = _expr_max(self.relation, delta)
+            if lo is not None and lo == hi:
+                out.append(lo)
+            else:
+                out.append(None)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Dep({self.kind}: {self.src.stmt_id} -> {self.dst.stmt_id} "
+            f"on {self.tensor_name})"
+        )
+
+
+def _expr_min(relation: BasicMap, expr: AffineExpr) -> Optional[int]:
+    from repro.poly.ilp import IlpProblem, IlpStatus
+
+    problem = IlpProblem(relation.constraints)
+    result = problem.minimize(expr, integer=True)
+    if result.status is IlpStatus.OPTIMAL:
+        return int(result.value)
+    return None
+
+
+def _expr_max(relation: BasicMap, expr: AffineExpr) -> Optional[int]:
+    from repro.poly.ilp import IlpProblem, IlpStatus
+
+    problem = IlpProblem(relation.constraints)
+    result = problem.maximize(expr, integer=True)
+    if result.status is IlpStatus.OPTIMAL:
+        return int(result.value)
+    return None
+
+
+def _access_equal_constraints(
+    src_acc: TensorAccess,
+    dst_acc: TensorAccess,
+    rename: Dict[str, str],
+) -> Optional[List[Constraint]]:
+    """Constraints equating the two access functions (dst dims renamed).
+
+    Returns ``None`` when either access is non-affine: the callers then
+    conservatively assume a dependence between all instance pairs.
+    """
+    if src_acc.indices is None or dst_acc.indices is None:
+        return None
+    cons = []
+    for s_idx, d_idx in zip(src_acc.indices, dst_acc.indices):
+        cons.append(Constraint.eq(s_idx, d_idx.rename(rename)))
+    return cons
+
+
+def _dependence_relations(
+    src: PolyStatement,
+    dst: PolyStatement,
+    src_acc: TensorAccess,
+    dst_acc: TensorAccess,
+) -> Tuple[List[BasicMap], Dict[str, str]]:
+    """All dependence relations from ``src_acc`` to ``dst_acc`` instances."""
+    rename = {d: f"{d}__dst" for d in dst.iter_names}
+    dst_space = Space(dst.stmt_id + "'", [rename[d] for d in dst.iter_names])
+
+    base_cons: List[Constraint] = []
+    base_cons.extend(src.domain().constraints)
+    base_cons.extend(c.rename(rename) for c in dst.domain().constraints)
+    eq = _access_equal_constraints(src_acc, dst_acc, rename)
+    if eq is not None:
+        base_cons.extend(eq)
+
+    if src is not dst:
+        relation = BasicMap(src.space, dst_space, base_cons)
+        return ([relation] if not relation.is_empty() else []), rename
+
+    # Self-dependence: require src lexicographically before dst.
+    relations: List[BasicMap] = []
+    for level in range(len(src.iter_names)):
+        cons = list(base_cons)
+        for d in src.iter_names[:level]:
+            cons.append(
+                Constraint.eq(AffineExpr.variable(d), AffineExpr.variable(rename[d]))
+            )
+        lead = src.iter_names[level]
+        cons.append(
+            Constraint.ge(
+                AffineExpr.variable(rename[lead]) - AffineExpr.variable(lead), 1
+            )
+        )
+        relation = BasicMap(src.space, dst_space, cons)
+        if not relation.is_empty():
+            relations.append(relation)
+    return relations, rename
+
+
+def compute_dependences(kernel: LoweredKernel) -> List[Dependence]:
+    """All flow, anti and output dependences of a lowered kernel."""
+    deps: List[Dependence] = []
+    statements = kernel.statements
+    order = {s.stmt_id: i for i, s in enumerate(statements)}
+
+    # Group accesses per tensor.
+    accesses: Dict[str, List[Tuple[PolyStatement, TensorAccess, bool]]] = {}
+    for stmt in statements:
+        accesses.setdefault(stmt.tensor.name, []).append((stmt, stmt.write, True))
+        for read in stmt.reads:
+            accesses.setdefault(read.tensor.name, []).append((stmt, read, False))
+
+    for tensor_name, acc_list in accesses.items():
+        for i, (s_a, acc_a, w_a) in enumerate(acc_list):
+            for j, (s_b, acc_b, w_b) in enumerate(acc_list):
+                if not (w_a or w_b):
+                    continue  # read-read is not a dependence
+                same_stmt = s_a is s_b
+                if not same_stmt and order[s_a.stmt_id] >= order[s_b.stmt_id]:
+                    continue  # textual order: only a -> b with a before b
+                # Self pairs: both orientations are distinct dependences
+                # (the lex-order constraint in the relation orients them),
+                # but the diagonal (i == j) need only be visited once --
+                # the loop naturally hits it exactly once.
+                relations, rename = _dependence_relations(s_a, s_b, acc_a, acc_b)
+                if w_a and w_b:
+                    kind = "output"
+                elif w_a:
+                    kind = "flow"
+                else:
+                    kind = "anti"
+                for rel in relations:
+                    deps.append(Dependence(s_a, s_b, rel, kind, tensor_name, rename))
+    return deps
+
+
+def producer_consumer_pairs(
+    deps: Sequence[Dependence],
+) -> List[Tuple[str, str]]:
+    """Distinct (producer stmt, consumer stmt) ids among flow dependences."""
+    seen: List[Tuple[str, str]] = []
+    for d in deps:
+        if d.kind == "flow" and not d.is_self:
+            pair = (d.src.stmt_id, d.dst.stmt_id)
+            if pair not in seen:
+                seen.append(pair)
+    return seen

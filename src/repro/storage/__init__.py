@@ -1,0 +1,17 @@
+"""Storage management: buffer promotion across the memory hierarchy.
+
+Implements Sec. 4.4: data tiles are promoted to the multi-level buffers of
+the DaVinci core; footprints come from composing tile-instance relations
+with access relations (exact rectangular hulls via ILP); intermediate
+values that live and die inside one tile never touch global memory --
+which is precisely where fused kernels win.
+"""
+
+from repro.storage.promote import (
+    BufferAllocation,
+    DataMove,
+    StoragePlan,
+    plan_storage,
+)
+
+__all__ = ["BufferAllocation", "DataMove", "StoragePlan", "plan_storage"]

@@ -1,0 +1,457 @@
+"""Buffer promotion: deciding where every data tile lives (Sec. 4.4).
+
+For one :class:`~repro.fusion.posttile.TiledGroup` the planner computes,
+per tensor:
+
+- the **footprint box** of one tile -- the maximum per-dimension extent of
+  the elements accessed by any tile, computed exactly with ILP over the
+  composed ``tile -> instances -> elements`` relation (the "constant-size
+  strided block" / rectangular over-approximation of the paper);
+- the **role** of the tensor inside the group: external input (inbound
+  DMA), kernel output (outbound DMA), or tile-local intermediate (on-chip
+  only -- the fusion payoff);
+- the **scope** it is promoted to (L1 for Cube operands, UB for
+  Vector/Scalar data, L0A/L0B/L0C for the fractal GEMM operands).
+
+The resulting :class:`StoragePlan` drives both code generation (DMA
+instructions) and the Auto-Tiler's utilisation polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.fusion.intratile import UnitAssignment
+from repro.fusion.posttile import TiledGroup
+from repro.hw.spec import HardwareSpec
+from repro.ir.lower import LoweredKernel, PolyStatement, TensorAccess
+from repro.poly.affine import AffineExpr, Constraint
+from repro.poly.ilp import IlpProblem, IlpStatus
+from repro.poly.maps import BasicMap
+
+
+class BufferAllocation:
+    """One tensor's on-chip allocation for a tile."""
+
+    __slots__ = (
+        "tensor_name",
+        "scope",
+        "box",
+        "elems",
+        "nbytes",
+        "dtype",
+        "double_buffered",
+    )
+
+    def __init__(
+        self,
+        tensor_name: str,
+        scope: str,
+        box: List[int],
+        dtype: str,
+        dtype_bytes: int,
+        double_buffered: bool = True,
+    ):
+        self.tensor_name = tensor_name
+        self.scope = scope
+        self.box = box  # per-dimension extents of the promoted block
+        self.elems = 1
+        for e in box:
+            self.elems *= max(e, 1)
+        self.dtype = dtype
+        self.nbytes = self.elems * dtype_bytes
+        self.double_buffered = double_buffered
+
+    def __repr__(self) -> str:
+        return (
+            f"Alloc({self.tensor_name}@{self.scope}, box={self.box}, "
+            f"{self.nbytes}B)"
+        )
+
+
+class DataMove:
+    """One per-tile DMA transfer required by the plan."""
+
+    __slots__ = (
+        "tensor_name", "src", "dst", "nbytes", "runs", "direction", "chunked",
+    )
+
+    def __init__(
+        self,
+        tensor_name: str,
+        src: str,
+        dst: str,
+        nbytes: int,
+        runs: int,
+        direction: str,
+        chunked: bool = False,
+    ):
+        if direction not in ("in", "out", "bounce"):
+            raise ValueError(f"bad direction {direction!r}")
+        self.tensor_name = tensor_name
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.runs = runs
+        self.direction = direction
+        self.chunked = chunked
+
+    def __repr__(self) -> str:
+        return f"Move({self.tensor_name}: {self.src}->{self.dst}, {self.nbytes}B)"
+
+
+class StoragePlan:
+    """Allocations + moves for one tiled group.
+
+    ``reduce_chunks`` implements the hierarchical tiling of Sec. 4.4 for
+    the Cube Unit: when the full-K operand tiles of a contraction exceed
+    L1, the reduction is processed in that many chunks, each streamed
+    through L1 while the accumulator stays in L0C.  Moves flagged
+    ``chunked`` execute once per chunk with 1/chunks of the bytes.
+    """
+
+    def __init__(
+        self,
+        allocations: Dict[str, BufferAllocation],
+        moves: List[DataMove],
+        local_tensors: Set[str],
+        reduce_chunks: int = 1,
+        peak_local_bytes: int = 0,
+    ):
+        self.allocations = allocations
+        self.moves = moves
+        self.local_tensors = local_tensors  # never touch GM
+        self.reduce_chunks = reduce_chunks
+        self.peak_local_bytes = peak_local_bytes
+
+    def utilization(self) -> Dict[str, int]:
+        """Bytes required per buffer scope for a single tile.
+
+        Tile-local intermediates are liveness-shared: a chain of fused
+        element-wise ops keeps only its *live* tensors resident (the
+        storage manager reuses slots of dead values), so locals contribute
+        their peak concurrent size, not their sum.
+        """
+        out: Dict[str, int] = {}
+        for alloc in self.allocations.values():
+            if alloc.tensor_name in self.local_tensors and alloc.scope == "UB":
+                continue  # accounted via the liveness peak below
+            out[alloc.scope] = out.get(alloc.scope, 0) + alloc.nbytes
+        if self.peak_local_bytes:
+            out["UB"] = out.get("UB", 0) + self.peak_local_bytes
+        return out
+
+    def fits(self, hw: HardwareSpec, double_buffered: bool = True) -> bool:
+        """Does one tile's working set fit the (halved) buffer capacities?"""
+        for scope, used in self.utilization().items():
+            if used > hw.usable_capacity(scope, double_buffered):
+                return False
+        return True
+
+    def moved_bytes_per_tile(self, direction: Optional[str] = None) -> int:
+        """Total DMA bytes per tile, optionally filtered by direction."""
+        return sum(
+            m.nbytes for m in self.moves if direction in (None, m.direction)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StoragePlan({len(self.allocations)} allocs, "
+            f"{len(self.moves)} moves, local={sorted(self.local_tensors)})"
+        )
+
+
+# -- footprint computation -------------------------------------------------------
+
+
+def footprint_extents(
+    group: TiledGroup,
+    stmt: PolyStatement,
+    access: TensorAccess,
+) -> List[int]:
+    """Max per-dimension extent of ``access`` over any tile of the group.
+
+    Solves, for each tensor dimension ``k``::
+
+        max  e_k - e'_k
+        s.t. (o, e) and (o, e') both in the tile footprint relation
+
+    which is the tightest constant box covering every tile's accesses.
+    Non-affine accesses conservatively return the whole tensor shape.
+    """
+    from repro.tiling.reverse import affine_extent_bound
+
+    tensor = access.tensor
+    if not access.is_affine:
+        # Data-dependent gather: at most one row per consumer instance is
+        # touched, so size the footprint by the consumer's tile, aligning
+        # tensor dims with the consumer's data dims from the innermost end
+        # (the gathered leading dim streams row by row from GM).
+        inst = group.instance_extents(stmt.stmt_id)[: stmt.data_rank]
+        rank = len(tensor.shape)
+        box = []
+        for k in range(rank):
+            j = stmt.data_rank - (rank - k)
+            if 0 <= j < len(inst):
+                box.append(max(min(inst[j], tensor.shape[k]), 1))
+            else:
+                box.append(tensor.shape[k])
+        return box
+    inst_rel = group.instance_relations[stmt.stmt_id]
+    acc_map = access.as_map(stmt.space)
+    fp = inst_rel.compose(acc_map)
+
+    box_ranges = {
+        d: (0, count - 1) for d, count in zip(group.tile_dims, group.tile_counts)
+    }
+    extents: List[int] = []
+    for k, dim in enumerate(fp.out_space.dims):
+        bound = affine_extent_bound(fp.constraints, dim, box_ranges)
+        if bound is None:
+            extents.append(tensor.shape[k])
+        else:
+            extents.append(max(min(bound, tensor.shape[k]), 1))
+    return extents
+
+
+def contiguous_runs(box: Sequence[int], tensor_shape: Sequence[int]) -> int:
+    """Contiguous runs of a row-major box inside its tensor.
+
+    Trailing dimensions that cover the full tensor extent merge into one
+    run; every remaining outer dimension multiplies the run count.
+    """
+    runs = 1
+    merged = True
+    for k in range(len(box) - 1, -1, -1):
+        if merged and box[k] == tensor_shape[k]:
+            continue  # still contiguous with the next-inner dim
+        if merged:
+            merged = False
+            runs = 1
+            for j in range(k):
+                runs *= max(box[j], 1)
+            break
+    return max(runs, 1)
+
+
+def _clip_box_to_capacity(
+    box: List[int], dtype_bytes: int, capacity: int
+) -> List[int]:
+    """Shrink outer dimensions until the box fits ``capacity`` bytes."""
+    def bytes_of(b):
+        total = dtype_bytes
+        for e in b:
+            total *= max(e, 1)
+        return total
+
+    k = 0
+    while bytes_of(box) > capacity and k < 1024:
+        k += 1
+        # Halve the largest dimension (outermost on ties).
+        dim = max(range(len(box)), key=lambda d: (box[d], -d))
+        if box[dim] <= 1:
+            break
+        box[dim] = max(box[dim] // 2, 1)
+    return box
+
+
+# -- the planner ------------------------------------------------------------------
+
+
+def plan_storage(
+    group: TiledGroup,
+    assignment: UnitAssignment,
+    kernel: LoweredKernel,
+    hw: HardwareSpec,
+    double_buffered: bool = True,
+) -> StoragePlan:
+    """Compute the storage plan of one tiled group."""
+    output_names = {t.name for t in kernel.outputs}
+    input_names = {t.name for t in kernel.inputs}
+    group_ids = {s.stmt_id for s in group.statements}
+    written_in_group = {s.tensor.name for s in group.statements}
+    # Tensors crossing the group boundary behave like kernel I/O for this
+    # group: produced here but consumed by a later tile nest -> spilled to
+    # GM; produced by an earlier nest -> loaded from GM.
+    consumed_elsewhere = {
+        r.tensor.name
+        for s in kernel.statements
+        if s.stmt_id not in group_ids
+        for r in s.reads
+        if r.tensor.name in written_in_group
+    }
+    produced_elsewhere = {
+        s.tensor.name
+        for s in kernel.statements
+        if s.stmt_id not in group_ids and s.tensor.name not in written_in_group
+    }
+
+    # Collect, per tensor, the maximal footprint box and its consumers.
+    boxes: Dict[str, List[int]] = {}
+    tensor_dtype: Dict[str, str] = {}
+    tensor_shape: Dict[str, Tuple[int, ...]] = {}
+    consumer_scopes: Dict[str, Set[str]] = {}
+    cube_roles: Dict[str, Set[str]] = {}
+
+    mte_written = {
+        s.tensor.name
+        for s in group.statements
+        if assignment.unit_of(s.stmt_id) == "mte"
+    }
+    for stmt in group.statements:
+        unit = assignment.unit_of(stmt.stmt_id)
+        accesses = [(stmt.write, True)] + [(r, False) for r in stmt.reads]
+        for access, is_write in accesses:
+            name = access.tensor.name
+            if name in mte_written:
+                # Absorbed padding: the tensor never materialises -- the
+                # MTE's img2col reads the raw input and pads in flight.
+                continue
+            ext = footprint_extents(group, stmt, access)
+            prev = boxes.get(name)
+            boxes[name] = (
+                [max(a, b) for a, b in zip(prev, ext)] if prev else ext
+            )
+            tensor_dtype[name] = access.tensor.dtype
+            tensor_shape[name] = access.tensor.shape
+            scope = "L1" if unit in ("cube", "mte") else "UB"
+            consumer_scopes.setdefault(name, set()).add(scope)
+            if unit == "cube":
+                role = "out" if is_write else "in"
+                cube_roles.setdefault(name, set()).add(role)
+
+    allocations: Dict[str, BufferAllocation] = {}
+    moves: List[DataMove] = []
+    local: Set[str] = set()
+
+    for name, box in boxes.items():
+        dtype = tensor_dtype[name]
+        dbytes = hw.dtype_bytes(dtype)
+        scopes = consumer_scopes[name]
+        is_input = name in input_names or name in produced_elsewhere
+        is_output = name in output_names or name in consumed_elsewhere
+        is_local = (
+            name in written_in_group and not is_output and not is_input
+        )
+        # Primary on-chip home of the data tile.
+        scope = "L1" if scopes == {"L1"} else "UB"
+        allocations[name] = BufferAllocation(
+            name, scope, box, dtype, dbytes, double_buffered
+        )
+        nbytes = allocations[name].nbytes
+        runs = contiguous_runs(box, tensor_shape[name])
+        if is_input:
+            moves.append(DataMove(name, "GM", scope, nbytes, runs, "in"))
+        if is_output:
+            moves.append(DataMove(name, scope if scope == "UB" else "UB", "GM", nbytes, runs, "out"))
+        if is_local:
+            local.add(name)
+        # Data produced by the Vector/Scalar units (living in UB) but
+        # consumed by the Cube Unit must bounce UB -> L1 (Sec. 4.3 "fusion
+        # when forking data").  Cube-produced data consumed by vector ops
+        # is already covered by the L0C -> UB drain of the cube stage.
+        written_by_vector = any(
+            s.tensor.name == name
+            and assignment.unit_of(s.stmt_id) in ("vector", "scalar")
+            for s in group.statements
+        )
+        if "L1" in scopes and written_by_vector:
+            moves.append(DataMove(name, "UB", "L1", nbytes, 1, "bounce"))
+
+    # Cube operands additionally occupy the L0 buffers (fractal GEMM,
+    # Sec. 4.4: X -> L0A, Y -> L0B, Z -> L0C).  L0 working sets are
+    # *hierarchically tiled* from the L1 tile (the second-level tiling the
+    # paper notes the Cube Unit may require), so their allocation is capped
+    # at the L0 capacity rather than constraining the L1 tile size.
+    for name, roles in cube_roles.items():
+        base = allocations[name]
+        scope = "L0C" if "out" in roles else (
+            "L0A"
+            if not any(a.scope == "L0A" for a in allocations.values())
+            else "L0B"
+        )
+        dbytes = hw.dtype_bytes(base.dtype)
+        box = _clip_box_to_capacity(
+            list(base.box), dbytes, hw.usable_capacity(scope, double_buffered)
+        )
+        allocations[f"{name}__{scope.lower()}"] = BufferAllocation(
+            name, scope, box, base.dtype, dbytes, double_buffered
+        )
+
+    # Hierarchical reduction chunking for the Cube Unit (Sec. 4.4): when
+    # the full-reduction operand tiles overflow L1, stream the contraction
+    # in chunks, shrinking the chunked operands' L1 residency.
+    reduce_chunks = 1
+    cube_stmts = [
+        s for s in group.statements if assignment.unit_of(s.stmt_id) == "cube"
+    ]
+    if cube_stmts:
+        total_reduce = 1
+        for s in cube_stmts:
+            for d, e in zip(s.iter_names, s.iter_extents):
+                if d in s.reduce_iters:
+                    total_reduce = max(total_reduce, e)
+        chunkable = {
+            name
+            for name, roles in cube_roles.items()
+            if roles == {"in"} and name not in written_in_group
+        }
+
+        def l1_usage() -> int:
+            cap_scale = {}
+            total = 0
+            for alloc in allocations.values():
+                if alloc.scope != "L1":
+                    continue
+                scale = reduce_chunks if alloc.tensor_name in chunkable else 1
+                total += alloc.nbytes // scale
+            return total
+
+        cap = hw.usable_capacity("L1", double_buffered)
+        while l1_usage() > cap and reduce_chunks < total_reduce:
+            reduce_chunks *= 2
+        if reduce_chunks > 1:
+            for alloc in allocations.values():
+                if alloc.scope == "L1" and alloc.tensor_name in chunkable:
+                    alloc.nbytes //= reduce_chunks
+            for move in moves:
+                if move.direction == "in" and move.tensor_name in chunkable:
+                    move.chunked = True
+
+    peak_local = _peak_live_local_bytes(group, allocations, local)
+    return StoragePlan(allocations, moves, local, reduce_chunks, peak_local)
+
+
+def _peak_live_local_bytes(
+    group: TiledGroup,
+    allocations: Dict[str, BufferAllocation],
+    local: Set[str],
+) -> int:
+    """Peak concurrent UB bytes of tile-local intermediates.
+
+    A local tensor is live from its defining statement to its last reader;
+    the maximum over program points bounds the reused-slot allocation.
+    """
+    if not local:
+        return 0
+    first_def: Dict[str, int] = {}
+    last_use: Dict[str, int] = {}
+    for i, stmt in enumerate(group.statements):
+        name = stmt.tensor.name
+        if name in local:
+            first_def.setdefault(name, i)
+            last_use[name] = max(last_use.get(name, i), i)
+        for read in stmt.reads:
+            if read.tensor.name in local:
+                last_use[read.tensor.name] = i
+    peak = 0
+    for i in range(len(group.statements)):
+        live = 0
+        for name in local:
+            alloc = allocations.get(name)
+            if alloc is None or alloc.scope != "UB":
+                continue
+            if first_def.get(name, 0) <= i <= last_use.get(name, -1):
+                live += alloc.nbytes
+        peak = max(peak, live)
+    return peak

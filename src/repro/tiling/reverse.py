@@ -1,0 +1,214 @@
+"""The reverse tiling strategy of Zhao & Di [70] (Sec. 4.2 of the paper).
+
+Only the **live-out** iteration space is tiled directly.  The tile shapes
+of every **intermediate** (producer) space are *derived*: for a given
+live-out tile, the set of producer instances that must have executed is
+obtained by chasing flow dependences backwards through the tile
+constraints.  For a convolution consuming a bias-added feature map this
+yields exactly the overlapped tiles of the paper::
+
+    {(o0, o1) -> S0(h, w) : T*o0 <= h < T*o0 + KH + T - 1 ∧ ... }
+
+The relation feeds an extension node (post-tiling fusion, Sec. 4.3) and
+the storage manager (footprints, Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.lower import PolyStatement
+from repro.poly.affine import AffineExpr, Constraint
+from repro.poly.fm import project_onto, remove_redundant
+from repro.poly.maps import BasicMap
+from repro.poly.sets import BasicSet, Space
+from repro.sched.deps import Dependence
+
+
+def tile_membership_constraints(
+    rows: Sequence[AffineExpr],
+    sizes: Sequence[int],
+    tile_dims: Sequence[str],
+) -> List[Constraint]:
+    """Constraints tying a statement instance to its tile indices.
+
+    For each tiled row: ``size * o <= row_expr <= size * o + size - 1``.
+    """
+    cons: List[Constraint] = []
+    for expr, size, o in zip(rows, sizes, tile_dims):
+        ovar = AffineExpr.variable(o)
+        cons.append(Constraint.ge(expr - ovar * size, 0))
+        cons.append(Constraint.le(expr - ovar * size, size - 1))
+    return cons
+
+
+def liveout_instance_relation(
+    stmt: PolyStatement,
+    rows: Sequence[AffineExpr],
+    sizes: Sequence[int],
+    tile_dims: Sequence[str],
+) -> BasicMap:
+    """Relation ``(tile indices) -> live-out instances`` of one statement.
+
+    An instance belongs to tile ``(o0, ..)`` when every tiled band row of
+    the statement falls inside the tile's half-open interval.
+    """
+    tile_space = Space("T", list(tile_dims))
+    cons = list(stmt.domain().constraints)
+    cons.extend(tile_membership_constraints(rows, sizes, tile_dims))
+    return BasicMap(tile_space, stmt.space, cons)
+
+
+def producer_tile_relation(
+    producer: PolyStatement,
+    consumer_relations: Dict[str, Tuple[PolyStatement, BasicMap]],
+    deps: Sequence[Dependence],
+    tile_dims: Sequence[str],
+) -> Optional[BasicMap]:
+    """Relation ``(tile indices) -> producer instances`` (reverse strategy).
+
+    ``consumer_relations`` maps already-fused statement ids to their own
+    ``tile -> instances`` relation (live-out statements get theirs from
+    :func:`liveout_instance_relation`; transitively fused producers get the
+    relation computed by an earlier call of this function).  Every flow
+    dependence from ``producer`` into a fused consumer contributes its
+    preimage; the union is over-approximated by a single basic map through
+    rational projection (extra instances only cause redundant recomputation
+    of a pure producer, never incorrect results -- the guarantee of [70]).
+
+    Returns ``None`` when no fused consumer depends on the producer.
+    """
+    tile_space = Space("T", list(tile_dims))
+    parts: List[List[Constraint]] = []
+    for dep in deps:
+        if dep.kind != "flow" or dep.src is not producer or dep.is_self:
+            continue
+        entry = consumer_relations.get(dep.dst.stmt_id)
+        if entry is None:
+            continue
+        consumer, inst_rel = entry
+        # inst_rel's output dims are the consumer's own iter names; the dep
+        # relation uses the renamed (primed) consumer dims -- align them.
+        renamed_inst = [c.rename(dep.rename) for c in inst_rel.constraints]
+        cons: List[Constraint] = list(dep.relation.constraints) + renamed_inst
+        keep = list(tile_dims) + list(producer.iter_names)
+        projected = project_onto(cons, keep)
+        parts.append(remove_redundant(projected))
+    if not parts:
+        return None
+    # Union the parts by bounding-box over-approximation into one map:
+    # safe (superset) because the producer is pure; exact for the single-
+    # consumer case that dominates DL subgraphs.
+    if len(parts) == 1:
+        cons = parts[0]
+    else:
+        cons = _approximate_union(parts, list(tile_dims) + list(producer.iter_names))
+    relation = BasicMap(tile_space, producer.space, cons)
+    return relation
+
+
+def _approximate_union(
+    parts: List[List[Constraint]], dims: List[str]
+) -> List[Constraint]:
+    """Keep only constraints implied by *every* part (a convex superset)."""
+    common = [c for c in parts[0] if all(_implies(p, c) for p in parts[1:])]
+    return common
+
+
+def _implies(constraints: List[Constraint], candidate: Constraint) -> bool:
+    """True when ``constraints`` entail ``candidate`` (exact ILP check)."""
+    from repro.poly.ilp import IlpProblem
+
+    if candidate.is_equality:
+        probe_up = IlpProblem(constraints + [Constraint.ge(candidate.expr, 1)])
+        probe_dn = IlpProblem(constraints + [Constraint.le(candidate.expr, -1)])
+        return not probe_up.is_feasible() and not probe_dn.is_feasible()
+    probe = IlpProblem(constraints + [candidate.negate()])
+    return not probe.is_feasible()
+
+
+def tile_footprint(
+    access_map: BasicMap,
+    instance_relation: BasicMap,
+) -> BasicMap:
+    """Relation ``(tile indices) -> tensor elements`` for one access.
+
+    Composes the instance relation (tile -> statement instances) with the
+    statement's access relation (instances -> tensor elements).
+    """
+    return instance_relation.compose(access_map)
+
+
+def affine_extent_bound(
+    constraints: Sequence[Constraint],
+    dim: str,
+    box_ranges: Dict[str, Tuple[int, int]],
+) -> Optional[int]:
+    """Tight upper bound on the extent of ``dim`` over any point of a box.
+
+    The constraints relate ``dim`` to box variables (tile indices) whose
+    ranges are given.  For every (upper, lower) affine-bound pair the true
+    per-point extent satisfies ``extent <= u(p) - l(p) + 1``; maximising
+    the affine difference over the box is closed-form (pick each variable's
+    end by coefficient sign), and the minimum over pairs is a sound, and in
+    the common single-pair case exact, extent bound.  Returns ``None``
+    when ``dim`` has no finite bound pair.
+    """
+    keep = list(box_ranges) + [dim]
+    projected = project_onto(constraints, keep)
+    lowers: List[AffineExpr] = []
+    uppers: List[AffineExpr] = []
+    for c in projected:
+        a = c.expr.coeff(dim)
+        if a == 0:
+            continue
+        rest = c.expr - AffineExpr({dim: a})
+        if c.is_equality:
+            lowers.append(rest * (-1 / a))
+            uppers.append(rest * (-1 / a))
+        elif a > 0:
+            lowers.append(rest * (-1 / a))
+        else:
+            uppers.append(rest * (1 / -a))
+    if not lowers or not uppers:
+        return None
+    best: Optional[int] = None
+    for u in uppers:
+        for lo in lowers:
+            diff = u - lo
+            # Maximise the affine difference over the box.
+            value = diff.const
+            ok = True
+            for v, coeff in diff.coeffs.items():
+                if v not in box_ranges:
+                    ok = False
+                    break
+                lo_v, hi_v = box_ranges[v]
+                value += coeff * (hi_v if coeff > 0 else lo_v)
+            if not ok:
+                continue
+            from math import floor
+
+            ext = floor(value) + 1
+            if best is None or ext < best:
+                best = ext
+    return best
+
+
+def footprint_box(
+    footprint: BasicMap, tile_point: Dict[str, int]
+) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Concrete rectangular footprint of one tile (min/max per tensor dim).
+
+    ``tile_point`` fixes the tile indices; the result is the rectangular
+    over-approximation ("box hull") of the accessed elements, the strided
+    block the storage manager promotes (Sec. 4.4).
+    """
+    cons = [
+        Constraint.eq(AffineExpr.variable(d), v) for d, v in tile_point.items()
+    ]
+    restricted = footprint.add_constraints(cons)
+    image = restricted.range()
+    if image.is_empty():
+        return None
+    return image.bounding_box()

@@ -1,0 +1,67 @@
+"""Tests for polyhedral AST generation."""
+
+import pytest
+
+from repro.codegen.ast import generate_ast
+from repro.core.compiler import AkgOptions, build
+from repro.ir import lower, ops
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
+from repro.sched.deps import compute_dependences
+from repro.sched.scheduler import PolyScheduler
+
+
+def ast_text(out, **opts):
+    result = build(out, "k", options=AkgOptions(**opts))
+    return generate_ast(result.tree, result.kernel.statements).render()
+
+
+class TestAstGeneration:
+    def test_elementwise_loops(self):
+        x = placeholder((8, 16), name="X")
+        text = ast_text(ops.relu(x, name="R"))
+        assert text.count("for (") >= 2
+        assert "R[" in text
+
+    def test_tile_band_renders_tile_loops(self):
+        x = placeholder((32, 32), name="X")
+        result = build(
+            ops.relu(x, name="R"), "k", options=AkgOptions(tile_sizes=[8, 8])
+        )
+        text = generate_ast(result.tree, result.kernel.statements).render()
+        assert "tile x8" in text
+
+    def test_skipped_subtree_omitted(self):
+        """Post-tiling fusion marks the original producer subtree skipped;
+        the AST must not contain it twice."""
+        a = placeholder((14,), name="A")
+        pre = ops.scalar_add(a, 1.0, name="PRE")
+        k = reduce_axis((0, 3), "k")
+        c = compute((12,), lambda i: te_sum(pre[i + k], axis=k), name="C")
+        result = build(c, "k", options=AkgOptions(tile_sizes=[4]))
+        text = generate_ast(result.tree, result.kernel.statements).render()
+        # The producer *write* appears exactly once (inside the extension);
+        # the original subtree is marked skipped and omitted.
+        writes = [ln for ln in text.splitlines() if "PRE[" in ln and "=" in ln and "add(A" in ln]
+        assert len(writes) == 1
+        assert "extension" in text
+
+    def test_sequence_order_preserved(self):
+        x = placeholder((8,), name="X")
+        b = ops.scalar_add(x, 1.0, name="B")
+        c = ops.relu(b, name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        tree = PolyScheduler().initial_tree(kernel)
+        text = generate_ast(tree, kernel.statements).render()
+        assert text.index("B[") < text.index("C[")
+
+    def test_reduction_body_rendered(self):
+        a = placeholder((4, 6), name="A")
+        b = placeholder((6, 3), name="B")
+        mm = ops.matmul(a, b, name="MM")
+        kernel = lower(mm)
+        deps = compute_dependences(kernel)
+        tree = PolyScheduler().schedule_kernel(kernel, deps)
+        text = generate_ast(tree, kernel.statements).render()
+        assert "MM[" in text
+        assert "mul(" in text  # the accumulation expression

@@ -1,0 +1,140 @@
+"""Tests for the img2col (Eq. 1) and fractal GEMM transformations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conv.fractal import FractalGemm, fractal_gemm_for, gemm_shape_of
+from repro.conv.img2col import (
+    Img2ColParams,
+    img2col_index_map,
+    inverse_patch_index,
+    is_convolution_statement,
+    is_padding_statement,
+)
+from repro.ir import lower, ops
+from repro.ir.tensor import placeholder
+
+
+class TestEq1IndexMap:
+    def test_identity_kernel_no_stride(self):
+        """KH=KW=1, f=1, no padding: X row m maps back to (ho, wo)."""
+        p = Img2ColParams(kh=1, kw=1, stride=(1, 1), padding=(0, 0), out_width=4, fractal=1)
+        # X index (n, Mo, Ko, Mi, Ki) with m = Mo*f + Mi.
+        i = img2col_index_map(p, (0, 5, 0, 0, 0))
+        # m = 5 -> ho = 5 // 4 = 1, wo = 5 % 4 = 1 -> input (1, 1).
+        assert i == (0, 0, 1, 1, 0)
+
+    def test_kernel_offsets(self):
+        p = Img2ColParams(kh=3, kw=3, stride=(1, 1), padding=(0, 0), out_width=4, fractal=1)
+        # Ko index i2' = c1*(KH*KW) + kh*KW + kw; take kh=1, kw=2, c1=0.
+        i2p = 1 * 3 + 2
+        i = img2col_index_map(p, (0, 0, i2p, 0, 0))
+        n, c1, hi, wi, c0 = i
+        assert (c1, hi, wi) == (0, 1, 2)  # patch origin (0,0) + offset
+
+    def test_padding_shifts_negative(self):
+        p = Img2ColParams(kh=3, kw=3, stride=(1, 1), padding=(1, 1), out_width=4, fractal=1)
+        i = img2col_index_map(p, (0, 0, 0, 0, 0))
+        _, _, hi, wi, _ = i
+        assert (hi, wi) == (-1, -1)  # first patch reads the pad border
+
+    def test_stride_scales_origin(self):
+        p = Img2ColParams(kh=1, kw=1, stride=(2, 2), padding=(0, 0), out_width=4, fractal=1)
+        i = img2col_index_map(p, (0, 3, 0, 0, 0))
+        _, _, hi, wi, _ = i
+        # m=3 -> (ho, wo) = (0, 3) -> input (0*2, 3*2).
+        assert (hi, wi) == (0, 6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ho=st.integers(0, 5),
+        wo=st.integers(0, 3),
+        kh=st.integers(0, 2),
+        kw=st.integers(0, 2),
+    )
+    def test_forward_inverse_consistency(self, ho, wo, kh, kw):
+        """Eq. 1 applied to the (m, k) of a conv instance recovers the
+        input element that instance reads."""
+        p = Img2ColParams(kh=3, kw=3, stride=(1, 1), padding=(0, 0), out_width=4, fractal=1)
+        m, k = inverse_patch_index(p, ho, wo, c1=0, rkh=kh, rkw=kw, c0=0)
+        i = img2col_index_map(p, (0, m, k, 0, 0))
+        _, _, hi, wi, _ = i
+        assert (hi, wi) == (ho + kh, wo + kw)
+
+
+class TestFractal:
+    def test_alignment_rounds_up(self):
+        g = FractalGemm(20, 33, 16)
+        assert g.aligned == (32, 48, 16)
+        assert g.blocks == (32 // 16) * (48 // 16) * 1
+
+    def test_no_padding_waste_when_aligned(self):
+        g = FractalGemm(32, 32, 32)
+        assert g.padding_waste == 0.0
+
+    def test_padding_waste_positive_when_ragged(self):
+        g = FractalGemm(17, 16, 16)
+        assert 0.0 < g.padding_waste < 1.0
+
+    def test_gemm_shape_of_matmul(self):
+        a = placeholder((64, 96), name="A")
+        b = placeholder((96, 32), name="B")
+        mm = ops.matmul(a, b, name="MM")
+        kernel = lower(mm)
+        update = kernel.statements[1]
+        m, k, n = gemm_shape_of(update)
+        assert (m, k, n) == (64, 96, 32)
+
+    def test_gemm_shape_of_conv(self):
+        d = placeholder((2, 8, 10, 10), name="D")
+        w = placeholder((16, 8, 3, 3), name="W")
+        cv = ops.conv2d(d, w, name="CV")
+        kernel = lower(cv)
+        update = kernel.statements[1]
+        m, k, n = gemm_shape_of(update)
+        # M folds batch and output spatial; N is the output channels;
+        # K folds input channels and the kernel window.
+        assert n == 16
+        assert m == 2 * 8 * 8
+        assert k == 8 * 3 * 3
+
+    def test_gemm_shape_respects_tile_extents(self):
+        a = placeholder((64, 96), name="A")
+        b = placeholder((96, 32), name="B")
+        mm = ops.matmul(a, b, name="MM")
+        kernel = lower(mm)
+        update = kernel.statements[1]
+        extents = dict(zip(update.iter_names, [16, 8, 96]))
+        m, k, n = gemm_shape_of(update, extents)
+        assert (m, k, n) == (16, 96, 8)
+
+
+class TestStatementClassifiers:
+    def test_conv_statement_detected(self):
+        d = placeholder((1, 4, 8, 8), name="D")
+        w = placeholder((8, 4, 3, 3), name="W")
+        cv = ops.conv2d(d, w, name="CV")
+        kernel = lower(cv)
+        update = kernel.statements[1]
+        assert is_convolution_statement(update)
+
+    def test_matmul_not_convolution(self):
+        a = placeholder((8, 8), name="A")
+        b = placeholder((8, 8), name="B")
+        mm = ops.matmul(a, b, name="MM")
+        kernel = lower(mm)
+        update = kernel.statements[1]
+        assert not is_convolution_statement(update)
+
+    def test_padding_statement_detected(self):
+        x = placeholder((1, 1, 4, 4), name="X")
+        p = ops.pad2d(x, 1, 1, name="P")
+        kernel = lower(p)
+        assert is_padding_statement(kernel.statements[0])
+
+    def test_relu_not_padding(self):
+        x = placeholder((4, 4), name="X")
+        r = ops.relu(x, name="R")
+        kernel = lower(r)
+        assert not is_padding_statement(kernel.statements[0])

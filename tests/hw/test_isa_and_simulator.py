@@ -1,0 +1,195 @@
+"""Tests for the virtual ISA and the DAE pipeline simulator."""
+
+import pytest
+
+from repro.hw.isa import (
+    Barrier,
+    CubeInstr,
+    DmaInstr,
+    Img2ColInstr,
+    Loop,
+    Pipe,
+    Program,
+    ScalarInstr,
+    SetFlag,
+    VectorInstr,
+    WaitFlag,
+)
+from repro.hw.simulator import DeadlockError, Simulator
+from repro.hw.spec import HardwareSpec
+
+
+class TestIsa:
+    def test_dma_pipe_selection(self):
+        assert DmaInstr("GM", "L1", 64).pipe is Pipe.MTE2
+        assert DmaInstr("GM", "UB", 64).pipe is Pipe.MTE2
+        assert DmaInstr("L1", "L0A", 64).pipe is Pipe.MTE1
+        assert DmaInstr("UB", "GM", 64).pipe is Pipe.MTE3
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(ValueError):
+            DmaInstr("L0A", "GM", 64)
+
+    def test_program_counts(self):
+        p = Program(
+            "p",
+            [
+                VectorInstr("add", 128, "fp16"),
+                Loop(10, [ScalarInstr(1), ScalarInstr(2)]),
+            ],
+        )
+        assert p.static_count() == 3
+        assert p.flat_count() == 21
+
+    def test_program_dump_contains_loop(self):
+        p = Program("p", [Loop(4, [VectorInstr("add", 128, "fp16")])])
+        text = p.dump()
+        assert "loop x4" in text
+        assert "vadd" in text
+
+    def test_negative_loop_count_rejected(self):
+        with pytest.raises(ValueError):
+            Loop(-1, [])
+
+
+class TestSpec:
+    def test_dtype_bytes(self):
+        hw = HardwareSpec()
+        assert hw.dtype_bytes("fp16") == 2
+        assert hw.dtype_bytes("fp32") == 4
+        with pytest.raises(ValueError):
+            hw.dtype_bytes("fp64")
+
+    def test_usable_capacity_halves_for_double_buffering(self):
+        hw = HardwareSpec()
+        assert hw.usable_capacity("UB", True) == hw.buffer_capacity["UB"] // 2
+        assert hw.usable_capacity("UB", False) == hw.buffer_capacity["UB"]
+
+    def test_transfer_cycles_scale_with_bytes(self):
+        hw = HardwareSpec()
+        small = hw.transfer_cycles("GM", "UB", 128)
+        big = hw.transfer_cycles("GM", "UB", 128 * 1024)
+        assert big > small
+        # Non-contiguous runs add overhead.
+        strided = hw.transfer_cycles("GM", "UB", 128 * 1024, contiguous_runs=64)
+        assert strided > big
+
+    def test_cube_cycles_round_to_blocks(self):
+        hw = HardwareSpec()
+        one_block = hw.cube_cycles(16, 16, 16)
+        padded = hw.cube_cycles(17, 16, 16)  # 2 blocks along m
+        assert padded > one_block
+
+    def test_vector_cycles_alignment_penalty(self):
+        hw = HardwareSpec()
+        aligned = hw.vector_cycles(1024, "fp16", aligned=True)
+        unaligned = hw.vector_cycles(1024, "fp16", aligned=False)
+        assert unaligned > aligned
+
+
+class TestSimulator:
+    def test_single_instr(self):
+        sim = Simulator()
+        report = sim.run(Program("p", [VectorInstr("add", 128, "fp16")]))
+        assert report.total_cycles > 0
+        assert report.instr_counts["VectorInstr"] == 1
+
+    def test_independent_pipes_overlap(self):
+        sim = Simulator()
+        dma = DmaInstr("GM", "UB", 64 * 1024)
+        vec = VectorInstr("add", 4096, "fp16")
+        together = sim.run(Program("p", [dma, vec])).total_cycles
+        dma_only = sim.run(Program("p", [dma])).total_cycles
+        vec_only = sim.run(Program("p", [vec])).total_cycles
+        # No flags between them: they run concurrently.
+        assert together == max(dma_only, vec_only)
+
+    def test_flags_serialise(self):
+        sim = Simulator()
+        dma = DmaInstr("GM", "UB", 64 * 1024)
+        vec = VectorInstr("add", 4096, "fp16")
+        program = Program(
+            "p",
+            [
+                dma,
+                SetFlag(Pipe.MTE2, Pipe.V, 0),
+                WaitFlag(Pipe.MTE2, Pipe.V, 0),
+                vec,
+            ],
+        )
+        serial = sim.run(program).total_cycles
+        dma_only = sim.run(Program("p", [dma])).total_cycles
+        vec_only = sim.run(Program("p", [vec])).total_cycles
+        assert serial >= dma_only + vec_only
+
+    def test_wait_without_set_deadlocks(self):
+        sim = Simulator()
+        with pytest.raises(DeadlockError):
+            sim.run(Program("p", [WaitFlag(Pipe.MTE2, Pipe.V, 0)]))
+
+    def test_barrier_joins_pipes(self):
+        sim = Simulator()
+        program = Program(
+            "p",
+            [
+                DmaInstr("GM", "UB", 64 * 1024),
+                Barrier(),
+                VectorInstr("add", 4096, "fp16"),
+            ],
+        )
+        report = sim.run(program)
+        dma_only = sim.run(Program("p", [DmaInstr("GM", "UB", 64 * 1024)])).total_cycles
+        assert report.total_cycles > dma_only
+
+    def test_loop_unroll_matches_manual(self):
+        sim = Simulator()
+        body = [VectorInstr("add", 256, "fp16")]
+        looped = sim.run(Program("p", [Loop(5, body)])).total_cycles
+        manual = sim.run(Program("p", body * 5)).total_cycles
+        assert looped == manual
+
+    def test_large_loop_extrapolation_close_to_exact(self):
+        spec = HardwareSpec()
+        sim = Simulator(spec)
+        body = [
+            DmaInstr("GM", "UB", 8 * 1024),
+            SetFlag(Pipe.MTE2, Pipe.V, 0),
+            WaitFlag(Pipe.MTE2, Pipe.V, 0),
+            VectorInstr("add", 4096, "fp16"),
+        ]
+        n = 100
+        extrapolated = sim.run(Program("p", [Loop(n, body)])).total_cycles
+        exact = sim.run(Program("p", body * n)).total_cycles
+        assert abs(extrapolated - exact) / exact < 0.05
+
+    def test_double_buffer_pattern_overlaps(self):
+        """With depth-2 loop-carried flags, DMA(i+1) overlaps compute(i)."""
+        sim = Simulator()
+        dma_c = 8 * 1024
+        body_db = [
+            WaitFlag(Pipe.V, Pipe.MTE2, 0),
+            DmaInstr("GM", "UB", dma_c),
+            SetFlag(Pipe.MTE2, Pipe.V, 1),
+            WaitFlag(Pipe.MTE2, Pipe.V, 1),
+            VectorInstr("add", 4096, "fp16"),
+            SetFlag(Pipe.V, Pipe.MTE2, 0),
+        ]
+        prologue2 = [SetFlag(Pipe.V, Pipe.MTE2, 0)] * 2
+        prologue1 = [SetFlag(Pipe.V, Pipe.MTE2, 0)] * 1
+        n = 64
+        db = sim.run(Program("p", prologue2 + [Loop(n, body_db)])).total_cycles
+        single = sim.run(Program("p", prologue1 + [Loop(n, body_db)])).total_cycles
+        assert db < single
+
+    def test_utilization_sums(self):
+        sim = Simulator()
+        report = sim.run(Program("p", [VectorInstr("add", 12800, "fp16")]))
+        assert report.utilization(Pipe.V) > 0.9
+        assert report.utilization(Pipe.M) == 0.0
+
+    def test_dma_bytes_accounting(self):
+        sim = Simulator()
+        report = sim.run(
+            Program("p", [Loop(10, [DmaInstr("GM", "UB", 1000)])])
+        )
+        assert report.dma_bytes == 10000

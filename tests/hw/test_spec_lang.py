@@ -1,0 +1,86 @@
+"""Tests for the Fig. 8 memory-hierarchy specification language."""
+
+import pytest
+
+from repro.hw.spec_lang import (
+    BufferSpec,
+    ComputeUnitSpec,
+    DataflowSpec,
+    NpuSpecError,
+    parse_npu_spec,
+)
+
+
+EXAMPLE = """
+# DaVinci-like manual specification
+buf L1 (1048576)
+buf UB (262144)
+cube (L0A L0B -> L0C, 4096, 16)
+vector (UB -> UB, 256, 32)
+dataflow (GM -> L1, 128, 32)
+dataflow (GM -> UB, 128, 32)
+"""
+
+
+class TestParsing:
+    def test_full_example(self):
+        spec = parse_npu_spec(EXAMPLE)
+        assert len(spec.buffers) == 2
+        assert len(spec.compute_units) == 2
+        assert len(spec.dataflows) == 2
+        cube = spec.compute_units[0]
+        assert cube.compute_type == "cube"
+        assert cube.in_bufs == ["L0A", "L0B"]
+        assert cube.out_bufs == ["L0C"]
+        assert cube.throughput == 4096
+        assert cube.alignment == 16
+
+    def test_roundtrip(self):
+        spec = parse_npu_spec(EXAMPLE)
+        again = parse_npu_spec(spec.render())
+        assert len(again.statements) == len(spec.statements)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "buf L1",                      # missing size
+            "buf L1 (0)",                  # zero size
+            "warp (UB -> UB, 1, 1)",       # unknown compute type
+            "cube (L0A -> L0C, 0, 16)",    # zero throughput
+            "dataflow GM -> L1, 1, 1",     # missing parens
+            "nonsense line",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(NpuSpecError):
+            parse_npu_spec(bad)
+
+    def test_comments_ignored(self):
+        spec = parse_npu_spec("# only a comment\n\nbuf UB (16)\n")
+        assert len(spec.buffers) == 1
+
+
+class TestHardwareOverlay:
+    def test_buffer_capacity_overlay(self):
+        spec = parse_npu_spec("buf UB (131072)")
+        hw = spec.to_hardware_spec()
+        assert hw.buffer_capacity["UB"] == 131072
+        # Untouched buffers keep defaults.
+        assert hw.buffer_capacity["L1"] == 1024 * 1024
+
+    def test_dataflow_overlay(self):
+        spec = parse_npu_spec("dataflow (GM -> L1, 64, 32)")
+        hw = spec.to_hardware_spec()
+        assert hw.bandwidth[("GM", "L1")] == 64.0
+
+    def test_vector_throughput_overlay(self):
+        spec = parse_npu_spec("vector (UB -> UB, 512, 32)")
+        hw = spec.to_hardware_spec()
+        assert hw.vector_bytes_per_cycle == 512
+        assert hw.vector_lanes("fp16") == 256
+
+    def test_cube_throughput_overlay(self):
+        spec = parse_npu_spec("cube (L0A L0B -> L0C, 2048, 16)")
+        hw = spec.to_hardware_spec()
+        # Half the MAC throughput: two cycles per fractal block.
+        assert hw.cube_cycles_per_block == 2

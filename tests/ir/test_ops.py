@@ -1,0 +1,224 @@
+"""Tests for the operator library against numpy semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import ops
+from repro.ir.tensor import placeholder
+from repro.runtime.reference import evaluate_tensors
+
+
+def rand(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+class TestElementwise:
+    def test_add(self):
+        a, b = placeholder((3, 4), name="A"), placeholder((3, 4), name="B")
+        out = ops.add(a, b)
+        xa, xb = rand((3, 4), 1), rand((3, 4), 2)
+        got = evaluate_tensors(out, {"A": xa, "B": xb})[out.name]
+        np.testing.assert_allclose(got, xa + xb, rtol=1e-6)
+
+    def test_add_shape_mismatch(self):
+        a, b = placeholder((3, 4), name="A"), placeholder((4, 3), name="B")
+        with pytest.raises(ValueError):
+            ops.add(a, b)
+
+    def test_relu(self):
+        a = placeholder((10,), name="A")
+        out = ops.relu(a)
+        xa = rand((10,), 3)
+        got = evaluate_tensors(out, {"A": xa})[out.name]
+        np.testing.assert_allclose(got, np.maximum(xa, 0), rtol=1e-6)
+
+    def test_abs_exp_sigmoid(self):
+        a = placeholder((6,), name="A")
+        xa = rand((6,), 4)
+        for fn, ref in [
+            (ops.abs_op, np.abs),
+            (ops.exp, np.exp),
+            (ops.sigmoid, lambda x: 1 / (1 + np.exp(-x))),
+        ]:
+            out = fn(a)
+            got = evaluate_tensors(out, {"A": xa})[out.name]
+            np.testing.assert_allclose(got, ref(xa), rtol=1e-5)
+
+    def test_scalar_ops(self):
+        a = placeholder((5,), name="A")
+        xa = rand((5,), 5)
+        got = evaluate_tensors(ops.scalar_add(a, 2.5, name="SA"), {"A": xa})["SA"]
+        np.testing.assert_allclose(got, xa + 2.5, rtol=1e-6)
+        got = evaluate_tensors(ops.scalar_mul(a, -3.0, name="SM"), {"A": xa})["SM"]
+        np.testing.assert_allclose(got, xa * -3.0, rtol=1e-6)
+
+    def test_cast_fp16(self):
+        a = placeholder((4,), name="A")
+        out = ops.cast(a, "fp16", name="CAST")
+        xa = np.array([1.0002441, 2.5, -3.1, 0.1], dtype=np.float32)
+        got = evaluate_tensors(out, {"A": xa})["CAST"]
+        assert got.dtype == np.float16
+        np.testing.assert_allclose(got, xa.astype(np.float16))
+
+
+class TestDataMovement:
+    def test_transpose(self):
+        a = placeholder((3, 4, 5), name="A")
+        out = ops.transpose(a, (2, 0, 1), name="T")
+        xa = rand((3, 4, 5), 6)
+        got = evaluate_tensors(out, {"A": xa})["T"]
+        np.testing.assert_allclose(got, np.transpose(xa, (2, 0, 1)))
+
+    def test_transpose_bad_perm(self):
+        a = placeholder((3, 4), name="A")
+        with pytest.raises(ValueError):
+            ops.transpose(a, (0, 0))
+
+    def test_one_hot(self):
+        idx = placeholder((4,), dtype="int32", name="IDX")
+        out = ops.one_hot(idx, depth=5, name="OH")
+        xi = np.array([0, 3, 1, 4], dtype=np.int32)
+        got = evaluate_tensors(out, {"IDX": xi})["OH"]
+        expected = np.eye(5, dtype=np.float32)[xi]
+        np.testing.assert_allclose(got, expected)
+
+    def test_pad2d(self):
+        a = placeholder((1, 1, 3, 3), name="A")
+        out = ops.pad2d(a, 1, 2, name="P")
+        xa = rand((1, 1, 3, 3), 7)
+        got = evaluate_tensors(out, {"A": xa})["P"]
+        expected = np.pad(xa, ((0, 0), (0, 0), (1, 1), (2, 2)))
+        np.testing.assert_allclose(got, expected)
+
+    def test_pad2d_zero_is_identity(self):
+        a = placeholder((1, 1, 3, 3), name="A")
+        assert ops.pad2d(a, 0, 0) is a
+
+
+class TestContractions:
+    def test_matmul(self):
+        a, b = placeholder((4, 6), name="A"), placeholder((6, 5), name="B")
+        out = ops.matmul(a, b, name="MM")
+        xa, xb = rand((4, 6), 8), rand((6, 5), 9)
+        got = evaluate_tensors(out, {"A": xa, "B": xb})["MM"]
+        np.testing.assert_allclose(got, xa @ xb, rtol=1e-5)
+
+    def test_matmul_shape_check(self):
+        a, b = placeholder((4, 6), name="A"), placeholder((5, 5), name="B")
+        with pytest.raises(ValueError):
+            ops.matmul(a, b)
+
+    def test_batched_matmul(self):
+        a = placeholder((2, 3, 4), name="A")
+        b = placeholder((2, 4, 5), name="B")
+        out = ops.batched_matmul(a, b, name="BMM")
+        xa, xb = rand((2, 3, 4), 10), rand((2, 4, 5), 11)
+        got = evaluate_tensors(out, {"A": xa, "B": xb})["BMM"]
+        np.testing.assert_allclose(got, xa @ xb, rtol=1e-5)
+
+    def test_conv2d_valid(self):
+        data = placeholder((1, 2, 5, 5), name="D")
+        weight = placeholder((3, 2, 3, 3), name="W")
+        out = ops.conv2d(data, weight, name="CONV")
+        assert out.shape == (1, 3, 3, 3)
+        xd, xw = rand((1, 2, 5, 5), 12), rand((3, 2, 3, 3), 13)
+        got = evaluate_tensors(out, {"D": xd, "W": xw})["CONV"]
+        expected = _conv2d_ref(xd, xw, 1, 1, 0, 0)
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+    def test_conv2d_stride_and_pad(self):
+        data = placeholder((1, 1, 6, 6), name="D")
+        weight = placeholder((2, 1, 3, 3), name="W")
+        out = ops.conv2d(data, weight, stride=(2, 2), padding=(1, 1), name="CONV")
+        assert out.shape == (1, 2, 3, 3)
+        xd, xw = rand((1, 1, 6, 6), 14), rand((2, 1, 3, 3), 15)
+        got = evaluate_tensors(out, {"D": xd, "W": xw})["CONV"]
+        expected = _conv2d_ref(xd, xw, 2, 2, 1, 1)
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+    def test_conv2d_channel_mismatch(self):
+        data = placeholder((1, 2, 5, 5), name="D")
+        weight = placeholder((3, 4, 3, 3), name="W")
+        with pytest.raises(ValueError):
+            ops.conv2d(data, weight)
+
+
+class TestNormalisation:
+    def test_batch_norm_reduce(self):
+        x = placeholder((2, 3, 4, 4), name="X")
+        total, sq = ops.batch_norm_reduce(x, name="BN")
+        xx = rand((2, 3, 4, 4), 16)
+        got = evaluate_tensors([total, sq], {"X": xx})
+        np.testing.assert_allclose(
+            got[total.name], xx.sum(axis=(0, 2, 3)), rtol=1e-4
+        )
+        np.testing.assert_allclose(
+            got[sq.name], (xx * xx).sum(axis=(0, 2, 3)), rtol=1e-4
+        )
+
+    def test_batch_norm_update(self):
+        x = placeholder((2, 3, 4, 4), name="X")
+        mean = placeholder((3,), name="MEAN")
+        var = placeholder((3,), name="VAR")
+        gamma = placeholder((3,), name="G")
+        beta = placeholder((3,), name="BETA")
+        out = ops.batch_norm_update(x, mean, var, gamma, beta, name="BNU")
+        xx = rand((2, 3, 4, 4), 17)
+        m = xx.mean(axis=(0, 2, 3))
+        v = xx.var(axis=(0, 2, 3))
+        g = rand((3,), 18)
+        bt = rand((3,), 19)
+        got = evaluate_tensors(
+            out, {"X": xx, "MEAN": m, "VAR": v, "G": g, "BETA": bt}
+        )["BNU"]
+        expected = (xx - m[None, :, None, None]) / np.sqrt(
+            v[None, :, None, None] + 1e-5
+        ) * g[None, :, None, None] + bt[None, :, None, None]
+        np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+    def test_softmax(self):
+        x = placeholder((3, 6), name="X")
+        out = ops.softmax_last_axis(x, name="SM")
+        xx = rand((3, 6), 20)
+        got = evaluate_tensors(out, {"X": xx})["SM"]
+        e = np.exp(xx - xx.max(axis=-1, keepdims=True))
+        expected = e / e.sum(axis=-1, keepdims=True)
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+
+def _conv2d_ref(data, weight, sh, sw, ph, pw):
+    """Direct numpy convolution reference (NCHW / OIHW)."""
+    n, c, h, w = data.shape
+    co, _, kh, kw = weight.shape
+    padded = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    ho = (h + 2 * ph - kh) // sh + 1
+    wo = (w + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, co, ho, wo), dtype=np.float32)
+    for nn in range(n):
+        for oo in range(co):
+            for hh in range(ho):
+                for ww in range(wo):
+                    patch = padded[
+                        nn, :, hh * sh : hh * sh + kh, ww * sw : ww * sw + kw
+                    ]
+                    out[nn, oo, hh, ww] = (patch * weight[oo]).sum()
+    return out
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(1, 5),
+    k=st.integers(1, 5),
+    n=st.integers(1, 5),
+    seed=st.integers(0, 100),
+)
+def test_matmul_property(m, k, n, seed):
+    """Random-shape matmul always matches numpy."""
+    a, b = placeholder((m, k), name="A"), placeholder((k, n), name="B")
+    out = ops.matmul(a, b, name="MM")
+    xa, xb = rand((m, k), seed), rand((k, n), seed + 1)
+    got = evaluate_tensors(out, {"A": xa, "B": xb})["MM"]
+    np.testing.assert_allclose(got, xa @ xb, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,38 @@
+"""Tests for the imperative statement IR used by the printers."""
+
+from repro.ir.expr import FloatImm, IntImm
+from repro.ir.stmt import Block, Evaluate, For, IfThenElse, Provide
+
+
+class TestRendering:
+    def test_for_loop(self):
+        body = Provide("A", ["i"], FloatImm(0.0))
+        text = For("i", 0, 8, body).render()
+        assert "for (i = 0; i < 0 + 8; ++i) {" in text
+        assert "A[i] = 0.0;" in text
+        assert text.rstrip().endswith("}")
+
+    def test_annotation_comment(self):
+        text = For("i", 0, 8, Evaluate("x;"), annotation="vectorized").render()
+        assert "// vectorized" in text
+
+    def test_nested_indentation(self):
+        inner = For("j", 0, 4, Provide("A", ["i", "j"], IntImm(1)))
+        text = For("i", 0, 2, inner).render()
+        lines = text.splitlines()
+        assert lines[1].startswith("  for (j")
+        assert lines[2].startswith("    A[i, j]")
+
+    def test_block_sequences(self):
+        text = Block([Evaluate("a;"), Evaluate("b;")]).render()
+        assert text.splitlines() == ["a;", "b;"]
+
+    def test_if_then_else(self):
+        stmt = IfThenElse("x > 0", Evaluate("t;"), Evaluate("f;"))
+        text = stmt.render()
+        assert "if (x > 0) {" in text
+        assert "} else {" in text
+
+    def test_if_without_else(self):
+        text = IfThenElse("x > 0", Evaluate("t;")).render()
+        assert "else" not in text

@@ -1,0 +1,125 @@
+"""Unit tests for affine expressions and constraints."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.affine import AffineExpr, Constraint, aff, var
+
+
+class TestAffineExpr:
+    def test_variable_and_constant(self):
+        h = var("h")
+        assert h.coeff("h") == 1
+        assert h.const == 0
+        five = AffineExpr.constant(5)
+        assert five.is_constant()
+        assert five.const == 5
+
+    def test_addition_merges_coefficients(self):
+        e = var("h") + var("w") + var("h") + 3
+        assert e.coeff("h") == 2
+        assert e.coeff("w") == 1
+        assert e.const == 3
+
+    def test_zero_coefficients_dropped(self):
+        e = var("h") - var("h")
+        assert e.is_constant()
+        assert e.variables() == ()
+
+    def test_subtraction_and_negation(self):
+        e = 10 - var("x")
+        assert e.coeff("x") == -1
+        assert e.const == 10
+        assert (-e).coeff("x") == 1
+
+    def test_scalar_multiplication(self):
+        e = (var("h") + 2) * 3
+        assert e.coeff("h") == 3
+        assert e.const == 6
+        e2 = Fraction(1, 2) * var("h")
+        assert e2.coeff("h") == Fraction(1, 2)
+
+    def test_evaluate(self):
+        e = aff({"h": 2, "w": -1}, 5)
+        assert e.evaluate({"h": 3, "w": 4}) == 7
+
+    def test_substitute_expression(self):
+        e = aff({"h": 2}, 1)
+        sub = e.substitute({"h": var("a") + var("b")})
+        assert sub.coeff("a") == 2
+        assert sub.coeff("b") == 2
+        assert sub.const == 1
+
+    def test_substitute_number(self):
+        e = aff({"h": 2, "w": 1}, 0)
+        sub = e.substitute({"h": 5})
+        assert sub.coeff("h") == 0
+        assert sub.const == 10
+        assert sub.coeff("w") == 1
+
+    def test_rename(self):
+        e = aff({"h": 1}, 2).rename({"h": "x"})
+        assert e.coeff("x") == 1
+        assert e.coeff("h") == 0
+
+    def test_equality_and_hash(self):
+        a = var("h") + 1
+        b = AffineExpr({"h": 1}, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_is_integral(self):
+        assert aff({"h": 2}, 3).is_integral()
+        assert not aff({"h": Fraction(1, 2)}, 0).is_integral()
+
+
+class TestConstraint:
+    def test_ge_le_eq_constructors(self):
+        c = Constraint.ge(var("h"), 3)
+        assert c.satisfied({"h": 3})
+        assert not c.satisfied({"h": 2})
+        c = Constraint.le(var("h"), 3)
+        assert c.satisfied({"h": 3})
+        assert not c.satisfied({"h": 4})
+        c = Constraint.eq(var("h"), 3)
+        assert c.satisfied({"h": 3})
+        assert not c.satisfied({"h": 4})
+
+    def test_normalisation_scales_to_coprime(self):
+        c = Constraint.ge(var("h") * 4, 8)  # 4h - 8 >= 0 -> h - 2 >= 0
+        assert c.expr.coeff("h") == 1
+        assert c.expr.const == -2
+
+    def test_normalisation_tightens_inequality_constant(self):
+        # 2h - 3 >= 0  over integers is  h >= 2, i.e. h - 2 >= 0.
+        c = Constraint.ge(var("h") * 2, 3)
+        assert c.expr.coeff("h") == 1
+        assert c.expr.const == -2
+
+    def test_equality_not_tightened(self):
+        # 2h == 3 has no integer solution but must not be rewritten.
+        c = Constraint.eq(var("h") * 2, 3)
+        assert c.expr.coeff("h") == 2
+        assert c.expr.const == -3
+
+    def test_negate_inequality(self):
+        c = Constraint.ge(var("h"), 3).negate()  # h <= 2
+        assert c.satisfied({"h": 2})
+        assert not c.satisfied({"h": 3})
+
+    def test_negate_equality_raises(self):
+        with pytest.raises(ValueError):
+            Constraint.eq(var("h"), 3).negate()
+
+    def test_trivial_checks(self):
+        assert Constraint.ge(AffineExpr.constant(1), 0).is_trivially_true()
+        assert Constraint.ge(AffineExpr.constant(-1), 0).is_trivially_false()
+        assert Constraint.eq(AffineExpr.constant(0), 0).is_trivially_true()
+        assert Constraint.eq(AffineExpr.constant(2), 0).is_trivially_false()
+        assert not Constraint.ge(var("h"), 0).is_trivially_true()
+
+    def test_fractional_input_normalised(self):
+        c = Constraint.ge(var("h") * Fraction(1, 2), 1)  # h/2 >= 1 -> h >= 2
+        assert c.satisfied({"h": 2})
+        assert not c.satisfied({"h": 1})

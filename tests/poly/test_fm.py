@@ -1,0 +1,92 @@
+"""Tests for Fourier-Motzkin elimination."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.fm import eliminate_variable, project_onto, remove_redundant
+from repro.poly.ilp import IlpProblem
+
+
+def box_constraints(**bounds):
+    cons = []
+    for name, (lo, hi) in bounds.items():
+        cons.append(Constraint.ge(var(name), lo))
+        cons.append(Constraint.le(var(name), hi))
+    return cons
+
+
+class TestEliminate:
+    def test_box_elimination(self):
+        cons = box_constraints(x=(0, 5), y=(2, 7))
+        out = eliminate_variable(cons, "y")
+        names = {v for c in out for v in c.variables()}
+        assert names == {"x"}
+
+    def test_equality_substitution(self):
+        # y == 2x, 0 <= y <= 10  ->  0 <= 2x <= 10  ->  0 <= x <= 5.
+        cons = box_constraints(y=(0, 10)) + [
+            Constraint.eq(var("y"), var("x") * 2)
+        ]
+        out = eliminate_variable(cons, "y")
+        problem = IlpProblem(out)
+        assert problem.lexmin(["x"]) == {"x": 0}
+        assert problem.lexmax(["x"]) == {"x": 5}
+
+    def test_lower_upper_combination(self):
+        # x <= y <= x + 3, 0 <= y <= 10: eliminating y leaves x in [-3, 10].
+        cons = [
+            Constraint.ge(var("y"), var("x")),
+            Constraint.le(var("y"), var("x") + 3),
+            Constraint.ge(var("y"), 0),
+            Constraint.le(var("y"), 10),
+        ]
+        out = eliminate_variable(cons, "y")
+        problem = IlpProblem(out)
+        assert problem.lexmin(["x"]) == {"x": -3}
+        assert problem.lexmax(["x"]) == {"x": 10}
+
+    def test_project_onto_multiple(self):
+        cons = box_constraints(a=(0, 3), b=(1, 4), c=(2, 5))
+        out = project_onto(cons, ["b"])
+        names = {v for c in out for v in c.variables()}
+        assert names == {"b"}
+
+
+class TestRedundancy:
+    def test_duplicate_removed(self):
+        c = Constraint.ge(var("x"), 3)
+        out = remove_redundant([c, c, c])
+        assert len(out) == 1
+
+    def test_dominated_constant_removed(self):
+        weak = Constraint.ge(var("x"), 1)
+        strong = Constraint.ge(var("x"), 5)
+        out = remove_redundant([weak, strong])
+        assert out == [strong]
+
+    def test_trivially_true_dropped(self):
+        out = remove_redundant([Constraint.ge(AffineExpr.constant(4), 0)])
+        assert out == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lo_x=st.integers(-5, 5), w_x=st.integers(0, 5),
+    lo_y=st.integers(-5, 5), w_y=st.integers(0, 5),
+    a=st.integers(-2, 2), b=st.integers(1, 3), c=st.integers(-6, 6),
+)
+def test_projection_is_sound_overapproximation(lo_x, w_x, lo_y, w_y, a, b, c):
+    """For every integer point of the original system, its projection must
+    satisfy the FM result (soundness: FM over-approximates)."""
+    cons = box_constraints(x=(lo_x, lo_x + w_x), y=(lo_y, lo_y + w_y))
+    cons.append(Constraint.ge(var("x") * a + var("y") * b, c))
+    projected = project_onto(cons, ["x"])
+    for x in range(lo_x, lo_x + w_x + 1):
+        feasible_y = any(
+            a * x + b * y >= c
+            for y in range(lo_y, lo_y + w_y + 1)
+        )
+        if feasible_y:
+            env = {"x": x}
+            assert all(cc.satisfied(env) for cc in projected)

@@ -1,0 +1,128 @@
+"""Unit tests for affine maps (relations)."""
+
+import pytest
+
+from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.maps import BasicMap, Map
+from repro.poly.sets import BasicSet, Space
+
+
+def stencil_map():
+    """Access relation S[i] -> A[a] with a in {i, i+1, i+2} (3-point read)."""
+    in_space = Space("S", ["i"])
+    out_space = Space("A", ["a"])
+    cons = [
+        Constraint.ge(var("a"), var("i")),
+        Constraint.le(var("a"), var("i") + 2),
+    ]
+    return BasicMap(in_space, out_space, cons)
+
+
+class TestBasicMap:
+    def test_disjoint_dims_enforced(self):
+        with pytest.raises(ValueError):
+            BasicMap(Space("S", ["i"]), Space("A", ["i"]))
+
+    def test_from_exprs_functional(self):
+        m = BasicMap.from_exprs(
+            Space("S", ["i", "j"]), Space("A", ["a", "b"]),
+            [var("i") + var("j"), var("j") * 2],
+        )
+        out = m.eval_point({"i": 3, "j": 4})
+        assert out == {"a": 7, "b": 8}
+
+    def test_apply_translation(self):
+        m = BasicMap.from_exprs(Space("S", ["i"]), Space("A", ["a"]), [var("i") + 5])
+        src = BasicSet.from_bounds(Space("S", ["i"]), {"i": (0, 9)})
+        img = m.apply(src)
+        box = img.bounding_box()
+        assert box == {"a": (5, 14)}
+
+    def test_apply_stencil_footprint(self):
+        # Reading A[i..i+2] for i in [0, 9] touches A[0..11].
+        src = BasicSet.from_bounds(Space("S", ["i"]), {"i": (0, 9)})
+        img = stencil_map().apply(src)
+        assert img.bounding_box() == {"a": (0, 11)}
+
+    def test_preimage(self):
+        tgt = BasicSet.from_bounds(Space("A", ["a"]), {"a": (10, 10)})
+        pre = stencil_map().preimage(tgt)
+        # i such that [i, i+2] contains 10: i in [8, 10].
+        assert pre.bounding_box() == {"i": (8, 10)}
+
+    def test_domain_and_range(self):
+        m = stencil_map().intersect_domain(
+            BasicSet.from_bounds(Space("S", ["i"]), {"i": (2, 4)})
+        )
+        assert m.domain().bounding_box() == {"i": (2, 4)}
+        assert m.range().bounding_box() == {"a": (2, 6)}
+
+    def test_compose_functional(self):
+        # S[i] -> B[b = i*2]; B[b] -> C[c = b + 1]  ==> S[i] -> C[c = 2i+1].
+        first = BasicMap.from_exprs(Space("S", ["i"]), Space("B", ["b"]), [var("i") * 2])
+        second = BasicMap.from_exprs(Space("B", ["b"]), Space("C", ["c"]), [var("b") + 1])
+        comp = first.compose(second)
+        assert comp.eval_point({"i": 3}) == {"c": 7}
+
+    def test_compose_arity_mismatch(self):
+        first = BasicMap.from_exprs(Space("S", ["i"]), Space("B", ["b"]), [var("i")])
+        second = BasicMap.from_exprs(
+            Space("B2", ["x", "y"]), Space("C", ["c"]), [var("x") + var("y")]
+        )
+        with pytest.raises(ValueError):
+            first.compose(second)
+
+    def test_reverse(self):
+        m = BasicMap.from_exprs(Space("S", ["i"]), Space("A", ["a"]), [var("i") + 1])
+        r = m.reverse()
+        assert r.eval_point({"a": 5}) == {"i": 4}
+
+    def test_intersect_range(self):
+        m = stencil_map().intersect_domain(
+            BasicSet.from_bounds(Space("S", ["i"]), {"i": (0, 9)})
+        ).intersect_range(BasicSet.from_bounds(Space("A", ["a"]), {"a": (0, 3)}))
+        assert m.range().bounding_box() == {"a": (0, 3)}
+        assert m.domain().bounding_box() == {"i": (0, 3)}
+
+    def test_wrap(self):
+        w = stencil_map().wrap()
+        assert set(w.space.dims) == {"i", "a"}
+        assert w.contains({"i": 2, "a": 3})
+        assert not w.contains({"i": 2, "a": 6})
+
+    def test_is_empty(self):
+        m = stencil_map().add_constraints(
+            [Constraint.ge(var("a"), var("i") + 5)]
+        )
+        assert m.is_empty()
+        assert not stencil_map().is_empty()
+
+
+class TestMapUnion:
+    def test_union_apply(self):
+        left = BasicMap.from_exprs(Space("S", ["i"]), Space("A", ["a"]), [var("i")])
+        right = BasicMap.from_exprs(Space("S", ["i"]), Space("A", ["a"]), [var("i") + 100])
+        m = left.to_map().union(right)
+        src = BasicSet.from_bounds(Space("S", ["i"]), {"i": (0, 1)})
+        img = m.apply(src)
+        for p in [(0,), (1,), (100,), (101,)]:
+            assert img.contains(p)
+        assert img.count_points() == 4
+
+    def test_union_domain_range(self):
+        left = BasicMap.from_exprs(Space("S", ["i"]), Space("A", ["a"]), [var("i")])
+        m = left.to_map()
+        dom_box = m.domain()
+        assert dom_box.parts  # non-empty union
+
+    def test_empty_map(self):
+        m = Map.empty(Space("S", ["i"]), Space("A", ["a"]))
+        assert m.is_empty()
+        src = BasicSet.from_bounds(Space("S", ["i"]), {"i": (0, 1)})
+        assert m.apply(src).is_empty()
+
+    def test_reverse_union(self):
+        left = BasicMap.from_exprs(Space("S", ["i"]), Space("A", ["a"]), [var("i") + 1])
+        m = left.to_map().reverse()
+        img = m.apply(BasicSet.from_bounds(Space("A", ["a"]), {"a": (5, 5)}))
+        assert img.contains({"i": 4})

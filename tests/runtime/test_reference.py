@@ -1,0 +1,121 @@
+"""Tests for the reference executor's scalar semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.expr import (
+    BinaryOp,
+    Cast,
+    FloatImm,
+    IntImm,
+    IterVar,
+    Select,
+    UnaryOp,
+)
+from repro.ir.tensor import compute, placeholder
+from repro.runtime.reference import (
+    eval_expr,
+    evaluate_tensors,
+    numpy_dtype,
+)
+
+
+class TestEvalExpr:
+    def test_immediates(self):
+        assert eval_expr(IntImm(3), {}, {}) == 3
+        assert eval_expr(FloatImm(2.5), {}, {}) == 2.5
+
+    def test_itervar_lookup(self):
+        iv = IterVar("i", 10)
+        assert eval_expr(iv, {id(iv): 7}, {}) == 7
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 2, 3, 5), ("sub", 2, 3, -1), ("mul", 2, 3, 6),
+            ("div", 6, 3, 2), ("max", 2, 3, 3), ("min", 2, 3, 2),
+            ("pow", 2, 3, 8), ("eq", 2, 2, 1.0), ("ne", 2, 2, 0.0),
+            ("lt", 2, 3, 1.0), ("le", 3, 3, 1.0), ("gt", 2, 3, 0.0),
+            ("ge", 3, 3, 1.0), ("and", 1, 0, 0.0), ("or", 1, 0, 1.0),
+        ],
+    )
+    def test_binary_ops(self, op, a, b, expected):
+        e = BinaryOp(op, FloatImm(float(a)), FloatImm(float(b)))
+        assert eval_expr(e, {}, {}) == expected
+
+    @pytest.mark.parametrize(
+        "op,a,expected",
+        [
+            ("neg", 2.0, -2.0),
+            ("abs", -3.0, 3.0),
+            ("relu", -1.0, 0.0),
+            ("relu", 4.0, 4.0),
+            ("floor", 2.7, 2.0),
+            ("ceil", 2.1, 3.0),
+            ("not", 0.0, 1.0),
+        ],
+    )
+    def test_unary_ops(self, op, a, expected):
+        e = UnaryOp(op, FloatImm(a))
+        assert eval_expr(e, {}, {}) == expected
+
+    def test_transcendentals(self):
+        assert eval_expr(UnaryOp("exp", FloatImm(1.0)), {}, {}) == pytest.approx(math.e)
+        assert eval_expr(UnaryOp("rsqrt", FloatImm(4.0)), {}, {}) == pytest.approx(0.5)
+        assert eval_expr(UnaryOp("sigmoid", FloatImm(0.0)), {}, {}) == pytest.approx(0.5)
+
+    def test_select_is_lazy(self):
+        """The untaken branch must not be evaluated (guards OOB reads)."""
+        t = placeholder((2,), name="T")
+        buffers = {"T": np.array([1.0, 2.0], dtype=np.float32)}
+        iv = IterVar("i", 2)
+        # Condition false: reads T[i] only when i < 2; here use i = 5 with a
+        # guard that is false, so the read would crash if eager.
+        guarded = Select(FloatImm(0.0), t[iv], FloatImm(-1.0))
+        assert eval_expr(guarded, {id(iv): 5}, buffers) == -1.0
+
+    def test_cast_rounds_to_fp16(self):
+        e = Cast("fp16", FloatImm(1.0002441))
+        got = eval_expr(e, {}, {})
+        assert got == float(np.float16(1.0002441))
+
+    def test_numpy_dtype_mapping(self):
+        assert numpy_dtype("fp16") == np.float16
+        assert numpy_dtype("int32") == np.int32
+        with pytest.raises(ValueError):
+            numpy_dtype("bf16")
+
+
+class TestReduceSemantics:
+    def test_max_reduction(self):
+        from repro.ir.tensor import reduce_axis, te_max
+
+        x = placeholder((3, 5), name="X")
+        k = reduce_axis((0, 5), "k")
+        m = compute((3,), lambda i: te_max(x[i, k], axis=k), name="M")
+        xv = np.random.default_rng(0).standard_normal((3, 5)).astype(np.float32)
+        got = evaluate_tensors(m, {"X": xv})["M"]
+        np.testing.assert_allclose(got, xv.max(axis=1))
+
+    def test_min_reduction(self):
+        from repro.ir.tensor import reduce_axis, te_min
+
+        x = placeholder((4, 3), name="X")
+        k = reduce_axis((0, 3), "k")
+        m = compute((4,), lambda i: te_min(x[i, k], axis=k), name="M")
+        xv = np.random.default_rng(1).standard_normal((4, 3)).astype(np.float32)
+        got = evaluate_tensors(m, {"X": xv})["M"]
+        np.testing.assert_allclose(got, xv.min(axis=1))
+
+    def test_prod_reduction(self):
+        from repro.ir.expr import Reduce
+        from repro.ir.tensor import reduce_axis
+
+        x = placeholder((2, 3), name="X")
+        k = reduce_axis((0, 3), "k")
+        p = compute((2,), lambda i: Reduce("prod", x[i, k], [k]), name="P")
+        xv = np.arange(1, 7, dtype=np.float32).reshape(2, 3)
+        got = evaluate_tensors(p, {"X": xv})["P"]
+        np.testing.assert_allclose(got, xv.prod(axis=1))

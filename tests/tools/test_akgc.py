@@ -1,0 +1,45 @@
+"""Tests for the akgc command-line driver."""
+
+import pytest
+
+from repro.tools.akgc import main
+
+
+class TestAkgc:
+    def test_relu_basic(self, capsys):
+        assert main(["relu", "--shape", "32,64"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "tile sizes" in out
+
+    def test_matmul_dump_tree(self, capsys):
+        assert main(["matmul", "--shape", "64,64,64", "--dump-tree"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule tree" in out
+        assert "fractal_gemm" in out
+
+    def test_conv_with_policy_and_cce(self, capsys):
+        code = main(
+            [
+                "conv2d", "--shape", "1,8,12,12", "--kernel", "3",
+                "--dump-cce",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "img2col" in out
+
+    def test_manual_tile_policy(self, capsys):
+        assert main(
+            ["relu", "--shape", "32,64", "--tile-policy", "S_0: 8@UB, 64@UB"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[8, 64]" in out
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["matmul", "--shape", "64,64"])  # matmul needs M,K,N
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fft", "--shape", "8"])
