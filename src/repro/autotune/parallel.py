@@ -1,0 +1,111 @@
+"""Parallel candidate measurement for the auto-tuner.
+
+The staged pipeline makes tile-size candidates embarrassingly parallel:
+every measurement is ``backend_build(frontend, sizes)`` + simulation over
+a shared, *picklable* :class:`~repro.core.frontend.FrontEnd`.  The
+:class:`ParallelMeasurer` ships one front-end copy to each worker process
+(via the pool initializer, so it is pickled once per worker rather than
+once per task) and evaluates each round's candidate batch concurrently.
+
+Determinism: results come back through ``Executor.map``, which preserves
+submission order, and each measurement is a pure function of
+``(frontend, sizes)`` — so the tuner's history, model fits and final best
+sizes are bit-identical to a serial run.  Any failure to parallelise
+(pickling, missing ``fork``, sandboxed environments without working
+process pools) degrades permanently to in-process serial measurement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["ParallelMeasurer"]
+
+# Worker-process state, populated once by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(frontend) -> None:
+    _WORKER_STATE["frontend"] = frontend
+
+
+def _measure_worker(sizes: List[int]) -> Optional[float]:
+    """Compile + simulate one candidate in a worker process."""
+    from repro.core.compiler import AkgOptions, backend_build
+
+    try:
+        result = backend_build(
+            _WORKER_STATE["frontend"], AkgOptions(tile_sizes=sizes)
+        )
+    except RuntimeError:
+        return None
+    return float(result.cycles())
+
+
+class ParallelMeasurer:
+    """Batch-measure tile-size candidates over a process pool.
+
+    Callable with a batch (list of size vectors); returns one
+    ``Optional[float]`` per candidate, in order.  Usable as the
+    ``batch_measure`` hook of :class:`repro.autotune.tuner.AutoTuner`.
+    """
+
+    def __init__(self, frontend, workers: Optional[int] = None):
+        self.frontend = frontend
+        self.workers = workers
+        self._pool = None
+        self._serial_fallback = False
+
+    # -- pool management ----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = self.workers or min(os.cpu_count() or 1, 8)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.frontend,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelMeasurer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- measurement --------------------------------------------------------
+
+    def _measure_serial(self, sizes: Sequence[int]) -> Optional[float]:
+        from repro.core.compiler import AkgOptions, backend_build
+
+        try:
+            result = backend_build(
+                self.frontend, AkgOptions(tile_sizes=list(sizes))
+            )
+        except RuntimeError:
+            return None
+        return float(result.cycles())
+
+    def __call__(self, batch: Sequence[List[int]]) -> List[Optional[float]]:
+        if not batch:
+            return []
+        if not self._serial_fallback and len(batch) > 1:
+            try:
+                pool = self._ensure_pool()
+                return list(pool.map(_measure_worker, [list(s) for s in batch]))
+            except Exception:
+                # Broken pool / unpicklable payload / no fork: degrade for
+                # the rest of the session rather than retrying per batch.
+                self._serial_fallback = True
+                self.close()
+        return [self._measure_serial(s) for s in batch]

@@ -18,12 +18,26 @@ Procedure, following the paper:
 
 The tuner is not meant to guarantee the optimum (the paper says as much)
 but usually beats the analytic Auto Tiling's data-movement heuristic.
+
+Performance notes (the staged-pipeline PR):
+
+- Candidate generation within a round depends only on state fixed
+  *before* the round (the fitted model, the ranked pool, the RNG), never
+  on that round's measurements — so each round's candidates are generated
+  up front and measured as one batch.  With a ``batch_measure`` hook
+  (e.g. :class:`repro.autotune.parallel.ParallelMeasurer`) the batch runs
+  on a process pool; results are collected in submission order, keeping
+  history and best sizes bit-identical to a serial run.
+- :func:`tune_tile_sizes` runs the polyhedral front-end once and compiles
+  every candidate backend-only (:func:`repro.core.compiler.backend_build`)
+  instead of re-running lowering/dependences/ILP scheduling per candidate.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.autotune.model import PerformanceModel
@@ -55,8 +69,12 @@ class AutoTuner:
         round_size: int = 16,
         max_rounds: int = 4,
         seed: int = 0,
+        batch_measure: Optional[
+            Callable[[List[List[int]]], List[Optional[float]]]
+        ] = None,
     ):
         self.measure = measure
+        self.batch_measure = batch_measure
         self.extents = list(extents)
         self.ladders = [self._ladder(e) for e in self.extents]
         self.n_best = n_best
@@ -67,25 +85,61 @@ class AutoTuner:
         self.rng = random.Random(seed)
         self.history: List[TuningRecord] = []
         self.model = PerformanceModel()
+        # Dedup and incremental bests: the seen-set replaces the O(n)
+        # history scan per candidate; _ranked mirrors
+        # sorted(history, key=cycles) (stable, maintained by insertion);
+        # _best mirrors min(history, key=cycles) (first minimum wins).
+        self._seen: set = set()
+        self._ranked: List[TuningRecord] = []
+        self._ranked_keys: List[float] = []
+        self._best: Optional[TuningRecord] = None
 
-    @staticmethod
-    def _ladder(extent: int) -> List[int]:
-        steps = [extent]
-        v = 1
-        while v < extent:
-            steps.append(v)
-            v *= 2
-        return sorted(set(steps))
+    _LADDER_CACHE: Dict[int, List[int]] = {}
+
+    @classmethod
+    def _ladder(cls, extent: int) -> List[int]:
+        cached = cls._LADDER_CACHE.get(extent)
+        if cached is None:
+            steps = [extent]
+            v = 1
+            while v < extent:
+                steps.append(v)
+                v *= 2
+            cached = cls._LADDER_CACHE[extent] = sorted(set(steps))
+        return list(cached)
 
     def _random_sizes(self) -> List[int]:
         return [self.rng.choice(ladder) for ladder in self.ladders]
 
+    def _record(self, record: TuningRecord) -> None:
+        self.history.append(record)
+        pos = bisect_right(self._ranked_keys, record.cycles)
+        self._ranked_keys.insert(pos, record.cycles)
+        self._ranked.insert(pos, record)
+        if self._best is None or record.cycles < self._best.cycles:
+            self._best = record
+
     def _measure_once(self, sizes: List[int]) -> None:
-        if any(r.sizes == sizes for r in self.history):
+        self._measure_batch([sizes])
+
+    def _measure_batch(self, candidates: Sequence[List[int]]) -> None:
+        """Measure every not-yet-seen candidate, appending in given order."""
+        fresh: List[List[int]] = []
+        for sizes in candidates:
+            key = tuple(sizes)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            fresh.append(list(sizes))
+        if not fresh:
             return
-        cycles = self.measure(sizes)
-        if cycles is not None:
-            self.history.append(TuningRecord(list(sizes), float(cycles)))
+        if self.batch_measure is not None and len(fresh) > 1:
+            results = self.batch_measure(fresh)
+        else:
+            results = [self.measure(sizes) for sizes in fresh]
+        for sizes, cycles in zip(fresh, results):
+            if cycles is not None:
+                self._record(TuningRecord(list(sizes), float(cycles)))
 
     def _probability(self, round_index: int) -> float:
         """The varying mixing probability p of Sec. 5.3 (0 .. e-saturated)."""
@@ -94,20 +148,19 @@ class AutoTuner:
 
     def tune(self) -> Tuple[List[int], List[TuningRecord]]:
         """Run the search; returns (best sizes, full history)."""
-        for _ in range(self.first_round):
-            self._measure_once(self._random_sizes())
+        self._measure_batch([self._random_sizes() for _ in range(self.first_round)])
         if not self.history:
             raise RuntimeError("no feasible tiling candidate could be measured")
 
-        best_cycles = min(r.cycles for r in self.history)
+        best_cycles = self._best.cycles
         for round_index in range(1, self.max_rounds + 1):
             self.model.fit(
                 [r.sizes for r in self.history],
                 [r.cycles for r in self.history],
             )
-            ranked = sorted(self.history, key=lambda r: r.cycles)
-            pool = ranked[: self.n_best]
+            pool = self._ranked[: self.n_best]
             p = self._probability(round_index)
+            batch: List[List[int]] = []
             for _ in range(self.round_size):
                 if self.rng.random() < p and pool:
                     seedrec = self.rng.choice(pool)
@@ -116,14 +169,14 @@ class AutoTuner:
                     )
                 else:
                     candidate = self._random_sizes()
-                self._measure_once(candidate)
-            new_best = min(r.cycles for r in self.history)
+                batch.append(candidate)
+            self._measure_batch(batch)
+            new_best = self._best.cycles
             if new_best >= best_cycles:
                 break  # no performance gain: stop early
             best_cycles = new_best
 
-        best = min(self.history, key=lambda r: r.cycles)
-        return list(best.sizes), self.history
+        return list(self._best.sizes), self.history
 
 
 def tune_tile_sizes(
@@ -134,14 +187,26 @@ def tune_tile_sizes(
     first_round: int = 16,
     round_size: int = 8,
     max_rounds: int = 3,
+    parallel: bool = False,
+    workers: Optional[int] = None,
 ) -> Tuple[List[int], List[TuningRecord]]:
-    """Tune AKG tile sizes for a kernel by measuring simulated cycles."""
-    from repro.core.compiler import AkgOptions, build
+    """Tune AKG tile sizes for a kernel by measuring simulated cycles.
+
+    The polyhedral front-end (lowering, dependences, ILP scheduling,
+    clustering) runs exactly once; every candidate is then compiled
+    backend-only against the shared :class:`~repro.core.frontend.FrontEnd`.
+    With ``parallel=True`` each round's candidate batch is measured on a
+    process pool (``workers`` processes, default ``min(cpu_count, 8)``),
+    falling back to serial measurement when no pool can be created; the
+    returned best sizes and history are identical either way.
+    """
+    from repro.core.compiler import AkgOptions, backend_build
+    from repro.core.frontend import run_frontend
     from repro.hw.spec import HardwareSpec
 
     hw = hw or HardwareSpec()
-    probe = build(outputs, name, hw=hw)
-    extents = probe.tile_sizes or [1]
+    frontend = run_frontend(outputs, name, hw=hw)
+    probe = backend_build(frontend)
     # Recover the full band extents from the live-out group.
     group = probe.groups[-1]
     lead = group.statements[-1]
@@ -149,12 +214,16 @@ def tune_tile_sizes(
 
     def measure(sizes: List[int]) -> Optional[float]:
         try:
-            result = build(
-                outputs, name, hw=hw, options=AkgOptions(tile_sizes=sizes)
-            )
+            result = backend_build(frontend, AkgOptions(tile_sizes=sizes))
         except RuntimeError:
             return None
         return float(result.cycles())
+
+    measurer = None
+    if parallel:
+        from repro.autotune.parallel import ParallelMeasurer
+
+        measurer = ParallelMeasurer(frontend, workers=workers)
 
     tuner = AutoTuner(
         measure,
@@ -163,5 +232,10 @@ def tune_tile_sizes(
         round_size=round_size,
         max_rounds=max_rounds,
         seed=seed,
+        batch_measure=measurer,
     )
-    return tuner.tune()
+    try:
+        return tuner.tune()
+    finally:
+        if measurer is not None:
+            measurer.close()

@@ -85,6 +85,9 @@ class ProgramBuilder:
         assignments: Optional[Sequence[UnitAssignment]] = None,
     ) -> Program:
         """Lower all groups of one kernel into a single program."""
+        from repro.codegen.sync import reset_events
+
+        reset_events()
         if assignments is None:
             assignments = [assign_compute_units(g.statements) for g in groups]
         instrs: List[Instr] = []

@@ -41,8 +41,21 @@ _event_counter = itertools.count(16)  # low ids reserved for loop-carried flags
 
 
 def fresh_event() -> int:
-    """Allocate a globally-unique flag event id."""
+    """Allocate a flag event id, unique within the current program."""
     return next(_event_counter)
+
+
+def reset_events() -> None:
+    """Restart event-id allocation (called per program build).
+
+    Flag ids only need to be unique *within* one program — the simulator
+    matches ``set_flag``/``wait_flag`` pairs per program run.  Restarting
+    the counter for every program makes builds deterministic: compiling
+    the same kernel twice (or once monolithically and once through the
+    staged front-end/back-end split) yields byte-identical dumps.
+    """
+    global _event_counter
+    _event_counter = itertools.count(16)
 
 
 def merge_adjacent_stages(stages: Sequence[Stage]) -> List[Stage]:

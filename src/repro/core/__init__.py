@@ -12,6 +12,14 @@ The result bundles the compiled program with every intermediate artefact
 methods ``simulate()`` and ``execute()``.
 """
 
-from repro.core.compiler import AkgOptions, CompileResult, build
+from repro.core.compiler import AkgOptions, CompileResult, backend_build, build
+from repro.core.frontend import FrontEnd, run_frontend
 
-__all__ = ["AkgOptions", "CompileResult", "build"]
+__all__ = [
+    "AkgOptions",
+    "CompileResult",
+    "FrontEnd",
+    "backend_build",
+    "build",
+    "run_frontend",
+]

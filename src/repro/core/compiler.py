@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.codegen.program import CodegenOptions, ProgramBuilder
 from repro.codegen.program_exec import execute_program
+from repro.core.frontend import FrontEnd, run_frontend
 from repro.fusion.intratile import (
     UnitAssignment,
     assign_compute_units,
@@ -34,15 +35,16 @@ from repro.fusion.posttile import (
 from repro.hw.isa import Program
 from repro.hw.simulator import SimReport, Simulator
 from repro.hw.spec import HardwareSpec
-from repro.ir.lower import LoweredKernel, lower
+from repro.ir.lower import LoweredKernel
 from repro.ir.tensor import Tensor
-from repro.sched.clustering import Clustering, conservative_clustering
-from repro.sched.deps import Dependence, compute_dependences
-from repro.sched.scheduler import PolyScheduler, SchedulerOptions, check_legality
+from repro.sched.clustering import Clustering
+from repro.sched.deps import Dependence
+from repro.sched.scheduler import SchedulerOptions, check_legality
 from repro.sched.tree import BandNode, DomainNode, FilterNode
 from repro.storage.promote import StoragePlan, plan_storage
 from repro.tiling.auto import AutoTiler, LinearFootprintEvaluator
 from repro.tiling.spec import TilingPolicy, parse_tiling_policy
+from repro.tools import perf
 
 
 class AkgOptions:
@@ -137,34 +139,48 @@ def build(
     hw: Optional[HardwareSpec] = None,
     options: Optional[AkgOptions] = None,
 ) -> CompileResult:
-    """Compile tensor-expression outputs into a simulatable NPU program."""
-    hw = hw or HardwareSpec()
+    """Compile tensor-expression outputs into a simulatable NPU program.
+
+    ``build`` is the composition of the two pipeline stages: the
+    tile-size-invariant front-end (:func:`repro.core.frontend.run_frontend`)
+    and the size-dependent back-end (:func:`backend_build`).  Callers that
+    compile one kernel at many tile sizes — the auto-tuner, the Auto Tiling
+    probe loop — should run the front-end once and call ``backend_build``
+    per candidate instead of calling ``build`` repeatedly.
+    """
     options = options or AkgOptions()
+    frontend = run_frontend(
+        outputs, name, hw=hw, scheduler_options=options.scheduler
+    )
+    return backend_build(frontend, options)
 
-    kernel = lower(outputs, name)
-    deps = compute_dependences(kernel)
-    clustering = conservative_clustering(kernel, deps)
-    scheduler = PolyScheduler(options.scheduler)
 
-    from repro.sched.tree import clone_tree
+def backend_build(
+    frontend: FrontEnd, options: Optional[AkgOptions] = None
+) -> CompileResult:
+    """Stage 2: tiling → fusion → storage → codegen at concrete tile sizes.
 
-    master_tree = scheduler.schedule_kernel(kernel, deps, clustering)
+    Reuses every tile-size-independent artefact from ``frontend`` (the
+    schedule tree is cloned per attempt, so the front-end stays pristine
+    and can serve any number of backend builds).  ``options.scheduler`` is
+    ignored here — the schedule was fixed when the front-end ran.
+    """
+    options = options or AkgOptions()
+    hw = frontend.hw
+    kernel = frontend.kernel
+    deps = frontend.deps
+    clustering = frontend.clustering
+    fresh_tree = frontend.fresh_tree
 
-    def fresh_tree() -> DomainNode:
-        return clone_tree(master_tree)
-
-    base_tree = fresh_tree()
     if options.verify_schedule:
-        violations = check_legality(base_tree, deps)
+        violations = check_legality(fresh_tree(), deps)
         if violations:
             raise RuntimeError(f"illegal schedule: {violations}")
 
-    band_rows = _liveout_band_rows(base_tree, clustering)
-    extents = _liveout_extents(kernel, clustering, band_rows)
+    extents = frontend.extents
 
-    sizes = _select_tile_sizes(
-        kernel, deps, clustering, fresh_tree, hw, options, extents
-    )
+    with perf.stage("backend.tile_select"):
+        sizes = _select_tile_sizes(frontend, options)
     for _ in range(options.tile_shrink):
         sizes = _halve_largest(sizes)
 
@@ -228,42 +244,38 @@ def build(
             )
         return None
 
-    result = attempt(_capacity_shrink, sizes)
-    if result is None:  # pragma: no cover - converges at size 1
-        raise RuntimeError("could not fit tiles into on-chip buffers")
+    with perf.stage("backend.tile_fit"):
+        result = attempt(_capacity_shrink, sizes)
+        if result is None:  # pragma: no cover - converges at size 1
+            raise RuntimeError("could not fit tiles into on-chip buffers")
 
-    candidates = [result]
-    if result[4] and len(sizes) == 4:
-        # Conv-shaped kernels: also try the spatial-first shrink order.
-        alt = attempt(lambda g, p, s: _halve_conv_spatial(s), sizes)
-        if alt is not None:
-            candidates.append(alt)
-    if options.post_tiling_fusion and any(
-        g.fused_producer_ids for g in result[0].groups
-    ):
-        # The greedy fusion absorbed a stencil producer; also measure the
-        # split alternative (overlap recompute + shared-buffer pressure
-        # can lose to lean separate nests on some shapes -- the tuner
-        # decides).  The split still fuses plain uniform chains; only the
-        # stencil boundaries cut kernels.
-        from repro.sched.clustering import merge_uniform_clusters
-
-        split_clustering = merge_uniform_clusters(clustering)
-        split_master = scheduler.schedule_kernel(kernel, deps, split_clustering)
-
-        def split_tree():
-            return clone_tree(split_master)
-
-        split = attempt(
-            _capacity_shrink, sizes,
-            tree_fn=split_tree, cl=split_clustering, fuse=False,
-        )
-        if split is not None:
-            candidates.append(split)
-    if len(candidates) > 1:
-        result = min(
-            candidates, key=lambda r: _candidate_cycles(kernel, r, hw, options)
-        )
+        candidates = [result]
+        if result[4] and len(sizes) == 4:
+            # Conv-shaped kernels: also try the spatial-first shrink order.
+            alt = attempt(lambda g, p, s: _halve_conv_spatial(s), sizes)
+            if alt is not None:
+                candidates.append(alt)
+        if options.post_tiling_fusion and any(
+            g.fused_producer_ids for g in result[0].groups
+        ):
+            # The greedy fusion absorbed a stencil producer; also measure the
+            # split alternative (overlap recompute + shared-buffer pressure
+            # can lose to lean separate nests on some shapes -- the tuner
+            # decides).  The split still fuses plain uniform chains; only the
+            # stencil boundaries cut kernels.  The split clustering and its
+            # schedule are tile-size-independent, so the front-end caches
+            # them across backend builds.
+            split_clustering, _ = frontend.split_variant()
+            split = attempt(
+                _capacity_shrink, sizes,
+                tree_fn=frontend.split_tree, cl=split_clustering, fuse=False,
+            )
+            if split is not None:
+                candidates.append(split)
+        if len(candidates) > 1:
+            result = min(
+                candidates, key=lambda r: _candidate_cycles(kernel, r, hw, options)
+            )
 
     fusion, assignments, plans, sizes, _ = result
 
@@ -272,16 +284,17 @@ def build(
     _sink_vector_dims(fusion, kernel, merged_assignment)
     _graft_fractal_subtrees(fusion, merged_assignment, hw)
 
-    codegen = ProgramBuilder(
-        hw,
-        CodegenOptions(
-            sync_policy=options.sync_policy,
-            double_buffer=options.double_buffer,
-            vectorize=options.vectorize,
-            emit_trace=options.emit_trace,
-        ),
-    )
-    program = codegen.build(kernel, fusion.groups, plans, assignments)
+    with perf.stage("backend.codegen"):
+        codegen = ProgramBuilder(
+            hw,
+            CodegenOptions(
+                sync_policy=options.sync_policy,
+                double_buffer=options.double_buffer,
+                vectorize=options.vectorize,
+                emit_trace=options.emit_trace,
+            ),
+        )
+        program = codegen.build(kernel, fusion.groups, plans, assignments)
     return CompileResult(
         program,
         kernel,
@@ -299,33 +312,11 @@ def build(
 # -- tile-size selection ------------------------------------------------------------
 
 
-def _liveout_band_rows(tree: DomainNode, clustering: Clustering) -> int:
-    liveout_ids = {
-        s.stmt_id
-        for ci in clustering.live_out
-        for s in clustering.clusters[ci]
-    }
-    for node in tree.walk():
-        if isinstance(node, FilterNode) and set(node.stmt_ids) & liveout_ids:
-            band = node.child
-            if isinstance(band, BandNode):
-                return band.n_rows
-    return 0
-
-
-def _liveout_extents(
-    kernel: LoweredKernel, clustering: Clustering, n_rows: int
-) -> List[int]:
-    liveout_ids = [
-        s.stmt_id for ci in sorted(clustering.live_out) for s in clustering.clusters[ci]
-    ]
-    stmt = next(s for s in kernel.statements if s.stmt_id == liveout_ids[-1])
-    return list(stmt.iter_extents[:n_rows])
-
-
-def _select_tile_sizes(
-    kernel, deps, clustering, fresh_tree, hw, options, extents
-) -> List[int]:
+def _select_tile_sizes(frontend: FrontEnd, options: AkgOptions) -> List[int]:
+    kernel = frontend.kernel
+    clustering = frontend.clustering
+    hw = frontend.hw
+    extents = frontend.extents
     if not extents:
         return []
     liveout_ids = [
@@ -361,9 +352,7 @@ def _select_tile_sizes(
     if cube and cube[0].data_rank == 4 and len(extents) == 4:
         return _conv_tile_sizes(extents)
 
-    evaluator = _fit_evaluator(
-        kernel, deps, clustering, fresh_tree, hw, options, extents
-    )
+    evaluator = _fit_evaluator(frontend, options)
     tiler = AutoTiler(hw, evaluator, extents, double_buffered=options.double_buffer)
     return tiler.search()
 
@@ -416,11 +405,15 @@ def _contraction_tile_sizes(stmt, hw, extents) -> List[int]:
 
 
 def _probe_plan(
-    kernel, deps, clustering, fresh_tree, hw, options, sizes
+    frontend: FrontEnd, options: AkgOptions, sizes
 ) -> Tuple[Dict[str, List[int]], Dict[str, Tuple[str, int, bool]]]:
     """Footprints at one candidate size vector: per-tensor boxes + roles."""
-    tree = fresh_tree()
-    fusion = apply_post_tiling_fusion(tree, kernel, deps, clustering, sizes)
+    kernel = frontend.kernel
+    hw = frontend.hw
+    tree = frontend.fresh_tree()
+    fusion = apply_post_tiling_fusion(
+        tree, kernel, frontend.deps, frontend.clustering, sizes
+    )
     boxes: Dict[str, List[int]] = {}
     meta: Dict[str, Tuple[str, int, bool]] = {}
     for group in fusion.groups:
@@ -459,25 +452,23 @@ def _probe_plan(
 
 
 def _fit_evaluator(
-    kernel, deps, clustering, fresh_tree, hw, options, extents
+    frontend: FrontEnd, options: AkgOptions
 ) -> LinearFootprintEvaluator:
     """Fit the per-tensor affine footprint polynomial by probing.
 
     Footprint extents of affine accesses are affine in each tile size
     (``alpha*T + beta``); two probes per dimension recover the
-    coefficients exactly.
+    coefficients exactly.  Every probe reuses the shared front-end (one
+    tree clone per probe, no re-scheduling).
     """
+    extents = frontend.extents
     base_sizes = [min(4, e) for e in extents]
-    base_boxes, meta = _probe_plan(
-        kernel, deps, clustering, fresh_tree, hw, options, base_sizes
-    )
+    base_boxes, meta = _probe_plan(frontend, options, base_sizes)
     bump_boxes: List[Dict[str, List[int]]] = []
     for d in range(len(extents)):
         probe = list(base_sizes)
         probe[d] = min(8, extents[d])
-        boxes, _ = _probe_plan(
-            kernel, deps, clustering, fresh_tree, hw, options, probe
-        )
+        boxes, _ = _probe_plan(frontend, options, probe)
         bump_boxes.append(boxes)
 
     terms = []

@@ -1,0 +1,176 @@
+"""Stage 1 of the two-stage compilation pipeline (the tile-size-invariant
+front-end).
+
+Everything the Fig. 2 pipeline computes up to and including polyhedral
+scheduling — lowering, dependence analysis, affine clustering and the
+Pluto/Feautrier ILP schedule — depends only on the kernel, never on the
+tile sizes.  The auto-tuner (Sec. 5.3) and the Auto Tiling probe/fit loop
+(Sec. 4.2) evaluate dozens of tile-size candidates per kernel; paying the
+exact-``Fraction`` ILP scheduling cost once instead of once-per-candidate
+is the single largest compile-time lever in this reproduction (AutoTVM
+makes the same split between template instantiation and schedule search).
+
+:func:`run_frontend` produces a :class:`FrontEnd`;
+:func:`repro.core.compiler.backend_build` consumes one together with
+tile-size options and runs tiling → fusion → storage → codegen.  The
+classic :func:`repro.core.compiler.build` is now simply the composition
+of the two.
+
+A :class:`FrontEnd` is picklable by design: the parallel auto-tuner ships
+one copy to each worker process and each worker then compiles candidates
+backend-only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hw.spec import HardwareSpec
+from repro.ir.lower import LoweredKernel, lower
+from repro.sched.clustering import Clustering, conservative_clustering
+from repro.sched.deps import Dependence, compute_dependences
+from repro.sched.scheduler import PolyScheduler, SchedulerOptions
+from repro.sched.tree import BandNode, DomainNode, FilterNode, clone_tree
+from repro.tools import perf
+
+__all__ = ["FrontEnd", "run_frontend"]
+
+
+class FrontEnd:
+    """The tile-size-independent compilation product.
+
+    Holds the lowered kernel, its dependences, the affine clustering and
+    the master schedule tree, plus the live-out band geometry the tiler
+    needs.  ``fresh_tree()`` hands out clones, so one ``FrontEnd`` can be
+    reused across any number of backend builds (the master tree itself is
+    never mutated).
+
+    The alternative *split* clustering/schedule — used when post-tiling
+    fusion absorbs a stencil producer and the driver wants to measure the
+    unfused variant too — is also tile-size-independent; it is computed
+    lazily on first use and cached, so the second scheduler run happens
+    at most once per kernel rather than once per candidate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hw: HardwareSpec,
+        scheduler_options: SchedulerOptions,
+        kernel: LoweredKernel,
+        deps: List[Dependence],
+        clustering: Clustering,
+        master_tree: DomainNode,
+        band_rows: int,
+        extents: List[int],
+    ):
+        self.name = name
+        self.hw = hw
+        self.scheduler_options = scheduler_options
+        self.kernel = kernel
+        self.deps = deps
+        self.clustering = clustering
+        self.master_tree = master_tree
+        self.band_rows = band_rows
+        self.extents = extents
+        self._split: Optional[Tuple[Clustering, DomainNode]] = None
+
+    # -- schedule-tree hand-out ---------------------------------------------------
+
+    def fresh_tree(self) -> DomainNode:
+        """A private clone of the master schedule tree."""
+        return clone_tree(self.master_tree)
+
+    def split_variant(self) -> Tuple[Clustering, "DomainNode"]:
+        """The stencil-split clustering and its master tree (lazy, cached).
+
+        Plain uniform producer chains stay fused; only stencil boundaries
+        cut kernels (see the split-candidate path of ``backend_build``).
+        """
+        if self._split is None:
+            from repro.sched.clustering import merge_uniform_clusters
+
+            split_clustering = merge_uniform_clusters(self.clustering)
+            with perf.stage("frontend.split_schedule"):
+                split_master = PolyScheduler(self.scheduler_options).schedule_kernel(
+                    self.kernel, self.deps, split_clustering
+                )
+            self._split = (split_clustering, split_master)
+        return self._split
+
+    def split_tree(self) -> DomainNode:
+        """A private clone of the split-variant master tree."""
+        return clone_tree(self.split_variant()[1])
+
+    def __repr__(self) -> str:
+        return (
+            f"FrontEnd({self.kernel.name}, {len(self.kernel.statements)} stmts, "
+            f"{len(self.deps)} deps, extents={self.extents})"
+        )
+
+
+def run_frontend(
+    outputs,
+    name: str = "kernel",
+    hw: Optional[HardwareSpec] = None,
+    scheduler_options: Optional[SchedulerOptions] = None,
+) -> FrontEnd:
+    """Run lowering → dependences → clustering → scheduling once.
+
+    ``outputs`` is the tensor-expression output (or sequence of outputs)
+    accepted by :func:`repro.core.compiler.build`.
+    """
+    hw = hw or HardwareSpec()
+    scheduler_options = scheduler_options or SchedulerOptions()
+
+    with perf.stage("frontend.lower"):
+        kernel = lower(outputs, name)
+    with perf.stage("frontend.deps"):
+        deps = compute_dependences(kernel)
+    with perf.stage("frontend.cluster"):
+        clustering = conservative_clustering(kernel, deps)
+    with perf.stage("frontend.schedule"):
+        master_tree = PolyScheduler(scheduler_options).schedule_kernel(
+            kernel, deps, clustering
+        )
+
+    band_rows = _liveout_band_rows(master_tree, clustering)
+    extents = _liveout_extents(kernel, clustering, band_rows)
+    return FrontEnd(
+        name,
+        hw,
+        scheduler_options,
+        kernel,
+        deps,
+        clustering,
+        master_tree,
+        band_rows,
+        extents,
+    )
+
+
+# -- live-out band geometry ------------------------------------------------------
+
+
+def _liveout_band_rows(tree: DomainNode, clustering: Clustering) -> int:
+    liveout_ids = {
+        s.stmt_id
+        for ci in clustering.live_out
+        for s in clustering.clusters[ci]
+    }
+    for node in tree.walk():
+        if isinstance(node, FilterNode) and set(node.stmt_ids) & liveout_ids:
+            band = node.child
+            if isinstance(band, BandNode):
+                return band.n_rows
+    return 0
+
+
+def _liveout_extents(
+    kernel: LoweredKernel, clustering: Clustering, n_rows: int
+) -> List[int]:
+    liveout_ids = [
+        s.stmt_id for ci in sorted(clustering.live_out) for s in clustering.clusters[ci]
+    ]
+    stmt = next(s for s in kernel.statements if s.stmt_id == liveout_ids[-1])
+    return list(stmt.iter_extents[:n_rows])

@@ -26,6 +26,11 @@ from repro.poly.affine import AffineExpr, aff, var
 from repro.poly.sets import BasicSet, Set, Space
 from repro.poly.maps import BasicMap, Map
 from repro.poly.ilp import IlpProblem, IlpStatus
+from repro.poly.cache import (
+    clear_solver_caches,
+    set_solver_cache_enabled,
+    solver_cache_stats,
+)
 
 __all__ = [
     "AffineExpr",
@@ -38,4 +43,7 @@ __all__ = [
     "Map",
     "IlpProblem",
     "IlpStatus",
+    "solver_cache_stats",
+    "clear_solver_caches",
+    "set_solver_cache_enabled",
 ]

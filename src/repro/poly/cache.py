@@ -1,0 +1,132 @@
+"""Memoization for the exact polyhedral solvers.
+
+The compilation pipeline re-solves *identical* (I)LPs and projections many
+times: dependence analysis poses the same emptiness checks for symmetric
+access pairs, footprint probing re-derives the same per-dimension bounds
+for every tile-size candidate, and the auto-tuner's backend re-runs the
+storage planner dozens of times per kernel.  Since every solve is a pure
+function of its (normalised) constraint system, a straight memo table is
+sound — and because the exact :class:`fractions.Fraction` simplex is the
+dominant compile-time cost, it is also the highest-leverage cache in the
+repository.
+
+Keys preserve the caller's constraint *order*, not just the constraint
+set: the solvers are deterministic functions of their input sequence, so
+an order-exact key makes a cache hit return bit-identical output to the
+uncached call (ties in the simplex and FM pivot choices depend on order).
+This keeps cached and uncached compilations byte-for-byte identical,
+which the staged-pipeline equivalence tests rely on.
+
+Caches are process-global.  Worker processes of the parallel auto-tuner
+each grow their own copy (the cache is warm within a worker, cold across
+them) — no cross-process synchronisation is needed or attempted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = [
+    "SolveCache",
+    "ILP_CACHE",
+    "FM_CACHE",
+    "solver_cache_stats",
+    "clear_solver_caches",
+    "set_solver_cache_enabled",
+]
+
+
+class SolveCache:
+    """A bounded FIFO memo table with hit/miss counters.
+
+    Polyhedral problems in this code base are small but numerous; the
+    bound exists only to keep pathological workloads from growing the
+    table without limit (eviction is oldest-first, which is close enough
+    to LRU for the highly repetitive solve streams seen here).
+    """
+
+    __slots__ = ("name", "maxsize", "enabled", "hits", "misses", "_data")
+
+    def __init__(self, name: str, maxsize: int = 200_000):
+        self.name = name
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[Hashable, Any] = {}
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value or ``None`` (and count the outcome)."""
+        if not self.enabled:
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert one entry, evicting the oldest when full."""
+        if not self.enabled:
+            return
+        if len(self._data) >= self.maxsize:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters plus derived hit rate (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._data),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"SolveCache({self.name}, hits={s['hits']}, misses={s['misses']}, "
+            f"entries={s['entries']})"
+        )
+
+
+#: Memo table for :meth:`repro.poly.ilp.IlpProblem.minimize`.
+ILP_CACHE = SolveCache("ilp")
+
+#: Memo table for :func:`repro.poly.fm.project_onto`.
+FM_CACHE = SolveCache("fm")
+
+_ALL = (ILP_CACHE, FM_CACHE)
+
+if os.environ.get("REPRO_NO_SOLVER_CACHE", "0") not in ("0", "", "false"):
+    for _c in _ALL:
+        _c.enabled = False
+
+
+def solver_cache_stats() -> Dict[str, Dict[str, float]]:
+    """Hit/miss/entry counts for every solver cache, keyed by name."""
+    return {c.name: c.stats() for c in _ALL}
+
+
+def clear_solver_caches() -> None:
+    """Empty every solver cache and reset its counters."""
+    for c in _ALL:
+        c.clear()
+
+
+def set_solver_cache_enabled(enabled: bool) -> None:
+    """Globally enable or disable solver memoization (for A/B timing)."""
+    for c in _ALL:
+        c.enabled = enabled

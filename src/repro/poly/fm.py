@@ -67,7 +67,17 @@ def eliminate_variable(
 def project_onto(
     constraints: Sequence[Constraint], keep: Sequence[str]
 ) -> List[Constraint]:
-    """Eliminate every variable not in ``keep``."""
+    """Eliminate every variable not in ``keep``.
+
+    Projections are memoized in :data:`repro.poly.cache.FM_CACHE` (keys
+    preserve input order, so hits are bit-identical to fresh runs).
+    """
+    from repro.poly.cache import FM_CACHE
+
+    key = (tuple(constraints), tuple(keep))
+    cached = FM_CACHE.lookup(key)
+    if cached is not None:
+        return list(cached)
     keep_set = set(keep)
     current = list(constraints)
     to_remove = sorted(
@@ -76,7 +86,8 @@ def project_onto(
     for name in to_remove:
         current = eliminate_variable(current, name)
         current = remove_redundant(current)
-    return current
+    FM_CACHE.store(key, current)
+    return list(current)
 
 
 def remove_redundant(constraints: Sequence[Constraint]) -> List[Constraint]:

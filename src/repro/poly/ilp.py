@@ -89,7 +89,23 @@ class IlpProblem:
         A presolve phase substitutes away unit-coefficient equalities (very
         common in dependence relations) and solves pure interval systems
         directly; the simplex/branch-and-bound only sees the residual.
+
+        Solves are memoized in :data:`repro.poly.cache.ILP_CACHE`: the key
+        preserves constraint order, so a hit is bit-identical to a fresh
+        solve (constraints normalise on construction, making the key a
+        canonical form of the system).
         """
+        from repro.poly.cache import ILP_CACHE
+
+        key = (tuple(self.constraints), objective, integer)
+        cached = ILP_CACHE.lookup(key)
+        if cached is not None:
+            return IlpResult(cached.status, cached.value, dict(cached.assignment))
+        result = self._minimize_uncached(objective, integer)
+        ILP_CACHE.store(key, result)
+        return IlpResult(result.status, result.value, dict(result.assignment))
+
+    def _minimize_uncached(self, objective: AffineExpr, integer: bool) -> IlpResult:
         constraints, objective, back_subst = _presolve_equalities(
             self.constraints, objective
         )

@@ -1,1 +1,7 @@
-"""Command-line tools: the ``akgc`` kernel compiler driver."""
+"""Command-line tools and instrumentation.
+
+- ``repro.tools.akgc``  -- compile one demo kernel and report everything.
+- ``repro.tools.bench`` -- the staged-pipeline benchmark (writes
+  ``BENCH_pipeline.json``).
+- ``repro.tools.perf``  -- per-stage wall-clock timing + solver cache stats.
+"""

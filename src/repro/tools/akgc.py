@@ -85,6 +85,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--tile-policy", default=None, help="Fig. 4 policy text")
     parser.add_argument("--no-fusion", action="store_true")
     parser.add_argument("--sync", default="dp", choices=["dp", "empirical", "naive"])
+    parser.add_argument("--perf", action="store_true",
+                        help="print per-stage compile timings + solver cache stats")
     parser.add_argument("--dump-tree", action="store_true")
     parser.add_argument("--dump-cce", action="store_true")
     parser.add_argument("--dump-program", action="store_true")
@@ -93,7 +95,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.core.compiler import AkgOptions, build
+    from repro.tools import perf
 
+    perf.reset()
     out = _build_kernel(args)
     options = AkgOptions(
         tile_policy=args.tile_policy,
@@ -112,6 +116,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for plan in result.plans:
         print(f"buffers       : {plan.utilization()}")
 
+    if args.perf:
+        print("\n=== compile-time breakdown ===")
+        print(perf.format_report())
     if args.dump_tree:
         print("\n=== schedule tree ===")
         print(result.tree.render())

@@ -1,0 +1,235 @@
+"""``python -m repro.tools.bench``: the compilation-pipeline benchmark.
+
+Measures, for a set of Fig. 9-style single operators, how long tile-size
+tuning takes through three configurations:
+
+- ``legacy``    — the pre-staging behaviour: one full ``build`` (lowering,
+  dependences, ILP scheduling, tiling, codegen) per candidate, solver
+  memoization off.  This is the seed implementation's cost model.
+- ``monolithic_cached`` — full rebuild per candidate but with the
+  polyhedral solver caches on (isolates the cache's contribution).
+- ``staged``    — the current implementation: the front-end runs once,
+  every candidate compiles backend-only, solver caches on.
+
+All three configurations drive the *same* tuner with the same RNG seed
+and assert they return the same best tile sizes, so the speedup column
+compares equal work.  Results are printed as a table (plus the per-stage
+wall-clock breakdown from :mod:`repro.tools.perf`) and written to
+``BENCH_pipeline.json`` so later PRs can track the trajectory::
+
+    python -m repro.tools.bench                 # default suite
+    python -m repro.tools.bench --quick         # tiny shapes, seconds
+    python -m repro.tools.bench --parallel      # pool-measured staged runs
+    python -m repro.tools.bench --out my.json
+
+JSON layout: ``{"config": ..., "kernels": {name: {legacy_seconds,
+monolithic_cached_seconds, staged_seconds, speedup_vs_legacy, best_sizes,
+best_cycles, candidates, results_agree}}, "stages": ...,
+"solver_cache": ...}`` — ``speedup_vs_legacy`` is the headline number;
+``stages`` and ``solver_cache`` localise where remaining time goes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.autotune.tuner import AutoTuner
+from repro.poly.cache import (
+    clear_solver_caches,
+    set_solver_cache_enabled,
+    solver_cache_stats,
+)
+from repro.tools import perf
+
+
+def _kernels(quick: bool) -> Dict[str, Callable[[], object]]:
+    """Fig. 9-style operator builders (callables so tensors stay fresh)."""
+    from repro.ir import ops
+    from repro.ir.tensor import placeholder
+
+    def relu():
+        x = placeholder((64, 256) if quick else (128, 1024), "fp16", name="X")
+        return ops.relu(x, name="out")
+
+    def add_relu():
+        shape = (64, 256) if quick else (128, 512)
+        x = placeholder(shape, "fp16", name="X")
+        y = placeholder(shape, "fp16", name="Y")
+        return ops.relu(ops.add(x, y, name="s"), name="out")
+
+    def matmul():
+        m = 64 if quick else 256
+        a = placeholder((m, m), "fp16", name="A")
+        b = placeholder((m, m), "fp16", name="B")
+        return ops.matmul(a, b, name="out")
+
+    def conv2d():
+        c, s = (8, 16) if quick else (16, 32)
+        d = placeholder((1, c, s, s), "fp16", name="D")
+        w = placeholder((c, c, 3, 3), "fp16", name="W")
+        return ops.conv2d(d, w, stride=(1, 1), padding=(1, 1), name="out")
+
+    return {
+        "relu": relu,
+        "add_relu": add_relu,
+        "matmul": matmul,
+        "conv2d": conv2d,
+    }
+
+
+def _tuner_params(quick: bool) -> Dict[str, int]:
+    if quick:
+        return {"first_round": 6, "round_size": 3, "max_rounds": 2}
+    return {"first_round": 8, "round_size": 4, "max_rounds": 2}
+
+
+def _legacy_tune(
+    builder: Callable[[], object], name: str, seed: int, params: Dict[str, int]
+) -> Tuple[List[int], list]:
+    """The seed implementation: a full monolithic build per candidate."""
+    from repro.core.compiler import AkgOptions, build
+    from repro.hw.spec import HardwareSpec
+
+    hw = HardwareSpec()
+    outputs = builder()
+    probe = build(outputs, name, hw=hw)
+    group = probe.groups[-1]
+    lead = group.statements[-1]
+    extents = lead.iter_extents[: len(group.tile_dims)]
+
+    def measure(sizes: List[int]) -> Optional[float]:
+        try:
+            result = build(
+                outputs, name, hw=hw, options=AkgOptions(tile_sizes=sizes)
+            )
+        except RuntimeError:
+            return None
+        return float(result.cycles())
+
+    tuner = AutoTuner(measure, extents, seed=seed, **params)
+    return tuner.tune()
+
+
+def _staged_tune(
+    builder: Callable[[], object],
+    name: str,
+    seed: int,
+    params: Dict[str, int],
+    parallel: bool,
+) -> Tuple[List[int], list]:
+    from repro.autotune.tuner import tune_tile_sizes
+
+    return tune_tile_sizes(
+        builder(), name, seed=seed, parallel=parallel, **params
+    )
+
+
+def run_suite(
+    quick: bool = False, parallel: bool = False, seed: int = 0
+) -> Dict[str, object]:
+    """Run every kernel through the three configurations; return the report."""
+    params = _tuner_params(quick)
+    results: Dict[str, object] = {}
+
+    for name, builder in _kernels(quick).items():
+        row: Dict[str, object] = {}
+
+        # Legacy: monolithic rebuilds, no solver memoization (seed behaviour).
+        clear_solver_caches()
+        set_solver_cache_enabled(False)
+        t0 = time.perf_counter()
+        legacy_best, legacy_hist = _legacy_tune(builder, name, seed, params)
+        row["legacy_seconds"] = time.perf_counter() - t0
+
+        # Monolithic + solver cache: isolates the memoization win.
+        set_solver_cache_enabled(True)
+        clear_solver_caches()
+        t0 = time.perf_counter()
+        mono_best, _ = _legacy_tune(builder, name, seed, params)
+        row["monolithic_cached_seconds"] = time.perf_counter() - t0
+
+        # Staged: front-end once, backend per candidate, caches on.
+        clear_solver_caches()
+        perf.reset()
+        t0 = time.perf_counter()
+        staged_best, staged_hist = _staged_tune(
+            builder, name, seed, params, parallel
+        )
+        row["staged_seconds"] = time.perf_counter() - t0
+
+        row["speedup_vs_legacy"] = row["legacy_seconds"] / max(
+            row["staged_seconds"], 1e-9
+        )
+        row["best_sizes"] = list(staged_best)
+        row["best_cycles"] = min(r.cycles for r in staged_hist)
+        row["candidates"] = len(staged_hist)
+        row["results_agree"] = bool(
+            legacy_best == mono_best == staged_best
+            and len(legacy_hist) == len(staged_hist)
+        )
+        row["stages"] = perf.report()["stages"]
+        row["solver_cache"] = solver_cache_stats()
+        results[name] = row
+
+    return {
+        "benchmark": "pipeline",
+        "config": {
+            "quick": quick,
+            "parallel": parallel,
+            "seed": seed,
+            **params,
+        },
+        "kernels": results,
+    }
+
+
+def _format_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'kernel':<12}{'legacy(s)':>11}{'mono+cache(s)':>15}"
+        f"{'staged(s)':>11}{'speedup':>9}{'agree':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["kernels"].items():
+        lines.append(
+            f"{name:<12}{row['legacy_seconds']:>11.3f}"
+            f"{row['monolithic_cached_seconds']:>15.3f}"
+            f"{row['staged_seconds']:>11.3f}"
+            f"{row['speedup_vs_legacy']:>8.1f}x"
+            f"{'yes' if row['results_agree'] else 'NO':>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--quick", action="store_true", help="tiny shapes")
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="measure staged candidates on a process pool",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(quick=args.quick, parallel=args.parallel, seed=args.seed)
+    print(_format_table(report))
+    print()
+    print(perf.format_report())
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Lightweight pipeline instrumentation: per-stage wall-clock timing.
+
+The compiler driver wraps each Fig. 2 stage in :func:`stage`; the
+accumulated totals (plus the polyhedral solver-cache counters) answer the
+question every performance PR starts with — *where does compile time go?*
+— without a profiler run.  Overhead is two ``perf_counter`` calls and a
+dict update per stage entry, cheap enough to leave on permanently.
+
+Usage::
+
+    from repro.tools import perf
+
+    with perf.stage("schedule"):
+        tree = scheduler.schedule_kernel(kernel, deps, clustering)
+
+    print(perf.format_report())     # aligned per-stage table
+    data = perf.report()            # machine-readable snapshot
+
+Counters are process-global and cumulative; call :func:`reset` around the
+region of interest.  Nested stages each record their own wall time (inner
+stages are *not* subtracted from outer ones), so the table reads as "total
+time spent inside this stage", the way a sampling profiler's inclusive
+column does.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["stage", "add", "reset", "report", "format_report"]
+
+_totals: Dict[str, float] = {}
+_counts: Dict[str, int] = {}
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time one entry into the named pipeline stage."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        add(name, time.perf_counter() - start)
+
+
+def add(name: str, seconds: float) -> None:
+    """Credit ``seconds`` of wall time to ``name`` directly."""
+    _totals[name] = _totals.get(name, 0.0) + seconds
+    _counts[name] = _counts.get(name, 0) + 1
+
+
+def reset() -> None:
+    """Zero every stage counter (solver caches are managed separately)."""
+    _totals.clear()
+    _counts.clear()
+
+
+def report() -> Dict[str, Dict[str, float]]:
+    """Snapshot: ``{"stages": {name: {seconds, calls}}, "solver_cache": ...}``."""
+    from repro.poly.cache import solver_cache_stats
+
+    return {
+        "stages": {
+            name: {"seconds": _totals[name], "calls": _counts[name]}
+            for name in sorted(_totals)
+        },
+        "solver_cache": solver_cache_stats(),
+    }
+
+
+def format_report() -> str:
+    """Render the stage totals and cache counters as an aligned table."""
+    data = report()
+    lines = [f"{'stage':<24}{'calls':>8}{'seconds':>12}{'ms/call':>10}"]
+    lines.append("-" * len(lines[0]))
+    ordered = sorted(
+        data["stages"].items(), key=lambda kv: -kv[1]["seconds"]
+    )
+    for name, row in ordered:
+        per_call = 1000.0 * row["seconds"] / max(row["calls"], 1)
+        lines.append(
+            f"{name:<24}{row['calls']:>8}{row['seconds']:>12.4f}{per_call:>10.2f}"
+        )
+    for cache_name, s in data["solver_cache"].items():
+        lines.append(
+            f"solver cache [{cache_name}]: {s['hits']} hits / {s['misses']} "
+            f"misses ({100.0 * s['hit_rate']:.1f}% hit rate, "
+            f"{s['entries']} entries)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Tests for the polyhedral solver memoization layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.cache import (
+    FM_CACHE,
+    ILP_CACHE,
+    clear_solver_caches,
+    solver_cache_stats,
+)
+from repro.poly.fm import project_onto
+from repro.poly.ilp import IlpProblem, IlpStatus
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_solver_caches()
+    yield
+    clear_solver_caches()
+
+
+def _box_problem():
+    return IlpProblem(
+        [
+            Constraint.ge(var("i"), 0),
+            Constraint.le(var("i"), 7),
+            Constraint.ge(var("j"), 0),
+            Constraint.le(var("j"), 5),
+            Constraint.ge(var("i") - var("j"), -2),
+        ]
+    )
+
+
+class TestIlpCache:
+    def test_repeat_solve_hits_cache(self):
+        obj = var("i") + var("j")
+        first = _box_problem().minimize(obj)
+        assert ILP_CACHE.misses == 1 and ILP_CACHE.hits == 0
+        second = _box_problem().minimize(obj)
+        assert ILP_CACHE.hits == 1
+        assert second.status is first.status
+        assert second.value == first.value
+        assert second.assignment == first.assignment
+
+    def test_cached_result_is_isolated_from_mutation(self):
+        obj = var("i")
+        first = _box_problem().minimize(obj)
+        first.assignment["i"] = Fraction(999)
+        second = _box_problem().minimize(obj)
+        assert second.assignment["i"] != Fraction(999)
+
+    def test_distinct_objectives_do_not_collide(self):
+        p = _box_problem()
+        lo = p.minimize(var("i"))
+        hi = p.maximize(var("i"))
+        assert (lo.value, hi.value) == (0, 7)
+
+    def test_infeasible_results_are_cached_too(self):
+        bad = IlpProblem(
+            [Constraint.ge(var("x"), 3), Constraint.le(var("x"), 1)]
+        )
+        assert bad.minimize(var("x")).status is IlpStatus.INFEASIBLE
+        bad2 = IlpProblem(
+            [Constraint.ge(var("x"), 3), Constraint.le(var("x"), 1)]
+        )
+        assert bad2.minimize(var("x")).status is IlpStatus.INFEASIBLE
+        assert ILP_CACHE.hits == 1
+
+    def test_stats_shape(self):
+        _box_problem().minimize(var("i"))
+        stats = solver_cache_stats()
+        assert set(stats) == {"ilp", "fm"}
+        for row in stats.values():
+            assert {"hits", "misses", "entries", "hit_rate"} <= set(row)
+
+
+class TestFmCache:
+    def test_repeat_projection_hits_cache(self):
+        cons = [
+            Constraint.ge(var("i"), 0),
+            Constraint.le(var("i"), 7),
+            Constraint.eq(var("j") - var("i"), 1),
+        ]
+        first = project_onto(cons, ["j"])
+        assert FM_CACHE.misses >= 1
+        hits_before = FM_CACHE.hits
+        second = project_onto(list(cons), ["j"])
+        assert FM_CACHE.hits == hits_before + 1
+        assert second == first
+
+    def test_cached_list_is_a_copy(self):
+        cons = [Constraint.ge(var("i"), 0), Constraint.le(var("i"), 3)]
+        first = project_onto(cons, ["i"])
+        first.append(Constraint.ge(var("i"), 99))
+        second = project_onto(cons, ["i"])
+        assert Constraint.ge(var("i"), 99) not in second
+
+
+class TestCacheBehaviour:
+    def test_disable_bypasses_lookup_and_store(self):
+        from repro.poly.cache import set_solver_cache_enabled
+
+        set_solver_cache_enabled(False)
+        try:
+            _box_problem().minimize(var("i"))
+            _box_problem().minimize(var("i"))
+            assert ILP_CACHE.hits == 0 and ILP_CACHE.misses == 0
+            assert len(ILP_CACHE) == 0
+        finally:
+            set_solver_cache_enabled(True)
+
+    def test_eviction_bounds_size(self):
+        from repro.poly.cache import SolveCache
+
+        cache = SolveCache("t", maxsize=3)
+        for i in range(5):
+            cache.store(i, i)
+        assert len(cache) == 3
+        assert cache.lookup(0) is None  # oldest evicted
+        assert cache.lookup(4) == 4
+
+    def test_cache_equivalence_on_pipeline(self):
+        """Cached and uncached compilation produce byte-identical programs."""
+        from repro.core.compiler import AkgOptions, build
+        from repro.ir import ops
+        from repro.ir.tensor import placeholder
+        from repro.poly.cache import set_solver_cache_enabled
+
+        def kernel():
+            x = placeholder((16, 64), "fp16", name="X")
+            return ops.relu(x, name="out")
+
+        opts = AkgOptions(tile_sizes=[8, 32])
+        set_solver_cache_enabled(False)
+        try:
+            cold = build(kernel(), "k", options=opts)
+        finally:
+            set_solver_cache_enabled(True)
+        clear_solver_caches()
+        warm1 = build(kernel(), "k", options=opts)
+        warm2 = build(kernel(), "k", options=opts)
+        assert ILP_CACHE.hits > 0
+        assert cold.program.dump() == warm1.program.dump() == warm2.program.dump()

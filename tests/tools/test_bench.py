@@ -1,0 +1,107 @@
+"""Tests for the pipeline benchmark and the perf instrumentation."""
+
+import json
+
+import pytest
+
+from repro.tools import perf
+
+
+class TestPerf:
+    def test_stage_accumulates(self):
+        perf.reset()
+        with perf.stage("unit_test_stage"):
+            pass
+        with perf.stage("unit_test_stage"):
+            pass
+        data = perf.report()
+        row = data["stages"]["unit_test_stage"]
+        assert row["calls"] == 2
+        assert row["seconds"] >= 0.0
+        assert "solver_cache" in data
+        perf.reset()
+        assert perf.report()["stages"] == {}
+
+    def test_format_report_renders(self):
+        perf.reset()
+        with perf.stage("render_me"):
+            pass
+        text = perf.format_report()
+        assert "render_me" in text
+        assert "solver cache [ilp]" in text
+        perf.reset()
+
+    def test_build_populates_stage_timings(self):
+        from repro.core.compiler import build
+        from repro.ir import ops
+        from repro.ir.tensor import placeholder
+
+        perf.reset()
+        x = placeholder((16, 64), "fp16", name="X")
+        build(ops.relu(x, name="out"), "k")
+        stages = perf.report()["stages"]
+        for expected in (
+            "frontend.lower",
+            "frontend.deps",
+            "frontend.schedule",
+            "backend.tile_fit",
+            "backend.codegen",
+        ):
+            assert expected in stages, expected
+        perf.reset()
+
+    def test_gemm_pipeline_has_nonzero_solver_cache_hit_rate(self):
+        """Acceptance criterion: the solver cache must hit on GEMM."""
+        from repro.core.compiler import build
+        from repro.ir import ops
+        from repro.ir.tensor import placeholder
+        from repro.poly.cache import clear_solver_caches, solver_cache_stats
+
+        clear_solver_caches()
+        a = placeholder((64, 64), "fp16", name="A")
+        b = placeholder((64, 64), "fp16", name="B")
+        build(ops.matmul(a, b, name="out"), "gemm")
+        stats = solver_cache_stats()
+        assert stats["ilp"]["hits"] > 0
+        assert stats["ilp"]["hit_rate"] > 0.0
+        clear_solver_caches()
+
+
+class TestBenchCli:
+    def test_main_writes_json(self, tmp_path, monkeypatch):
+        """Smoke-run the CLI on one tiny kernel set (quick mode, trimmed)."""
+        import repro.tools.bench as bench
+
+        def tiny_kernels(quick):
+            from repro.ir import ops
+            from repro.ir.tensor import placeholder
+
+            def relu():
+                x = placeholder((16, 64), "fp16", name="X")
+                return ops.relu(x, name="out")
+
+            return {"relu": relu}
+
+        monkeypatch.setattr(bench, "_kernels", tiny_kernels)
+        out = tmp_path / "BENCH_pipeline.json"
+        assert bench.main(["--quick", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["benchmark"] == "pipeline"
+        row = data["kernels"]["relu"]
+        assert row["results_agree"] is True
+        assert row["legacy_seconds"] > 0
+        assert row["staged_seconds"] > 0
+        assert row["solver_cache"]["ilp"]["hits"] >= 0
+
+    @pytest.mark.slow
+    def test_full_quick_suite_speedup(self, tmp_path):
+        """The staged pipeline must beat legacy ≥5x on a cube operator."""
+        import repro.tools.bench as bench
+
+        report = bench.run_suite(quick=True)
+        assert all(r["results_agree"] for r in report["kernels"].values())
+        cube_speedups = [
+            report["kernels"][k]["speedup_vs_legacy"]
+            for k in ("matmul", "conv2d")
+        ]
+        assert max(cube_speedups) >= 5.0
