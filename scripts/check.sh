@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-button pre-push check: tier-1 tests, a bench smoke run, and a
+# disk-cache round trip through the real CLI.  Run from the repo root:
+#
+#     bash scripts/check.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest tests/ -x -q
+
+echo
+echo "== bench smoke (quick pipeline suite) =="
+python -m repro.tools.bench --quick --out /tmp/bench_smoke.json
+rm -f /tmp/bench_smoke.json
+
+echo
+echo "== disk-cache round trip (cold akgc, then warm) =="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+python -m repro.tools.akgc relu --shape 64,128 \
+    --cache-dir "$CACHE_DIR" --cache-stats
+python -m repro.tools.akgc relu --shape 64,128 \
+    --cache-dir "$CACHE_DIR" --cache-stats \
+    | tee /tmp/akgc_warm.txt
+grep -q "disk cache    : [1-9]" /tmp/akgc_warm.txt \
+    || { echo "FAIL: warm akgc run did not hit the disk cache"; exit 1; }
+rm -f /tmp/akgc_warm.txt
+
+echo
+echo "all checks passed"

@@ -199,7 +199,15 @@ def tune_tile_sizes(
     process pool (``workers`` processes, default ``min(cpu_count, 8)``),
     falling back to serial measurement when no pool can be created; the
     returned best sizes and history are identical either way.
+
+    Per-candidate measurements (simulated cycles, or infeasibility) are
+    memoized in the persistent disk cache keyed by the front-end's
+    content digest plus the size vector: a warm-process tuning run
+    replays measurements instead of compiling, and — because the
+    simulator is deterministic — converges on exactly the same best
+    sizes a cold run would.
     """
+    from repro.core import diskcache
     from repro.core.compiler import AkgOptions, backend_build
     from repro.core.frontend import run_frontend
     from repro.hw.spec import HardwareSpec
@@ -212,18 +220,54 @@ def tune_tile_sizes(
     lead = group.statements[-1]
     extents = lead.iter_extents[: len(group.tile_dims)]
 
+    def cycles_key(sizes: Sequence[int]) -> Optional[str]:
+        if frontend.cache_key is None or not diskcache.enabled():
+            return None
+        return diskcache.digest(
+            "cycles",
+            frontend.cache_key,
+            repr(tuple(int(s) for s in sizes)),
+        )
+
     def measure(sizes: List[int]) -> Optional[float]:
+        key = cycles_key(sizes)
+        cached = diskcache.load(key)
+        if isinstance(cached, dict) and "cycles" in cached:
+            return cached["cycles"]
         try:
             result = backend_build(frontend, AkgOptions(tile_sizes=sizes))
         except RuntimeError:
+            diskcache.store(key, {"cycles": None})
             return None
-        return float(result.cycles())
+        cycles = float(result.cycles())
+        diskcache.store(key, {"cycles": cycles})
+        return cycles
 
     measurer = None
+    batch_measure = None
     if parallel:
         from repro.autotune.parallel import ParallelMeasurer
 
         measurer = ParallelMeasurer(frontend, workers=workers)
+
+        def batch_measure(batch: List[List[int]]) -> List[Optional[float]]:
+            # Serve disk-cached candidates locally; pool-measure the rest
+            # (submission order preserved, so history stays bit-identical).
+            keys = [cycles_key(sizes) for sizes in batch]
+            results: List[Optional[float]] = [None] * len(batch)
+            todo: List[int] = []
+            for i, key in enumerate(keys):
+                cached = diskcache.load(key)
+                if isinstance(cached, dict) and "cycles" in cached:
+                    results[i] = cached["cycles"]
+                else:
+                    todo.append(i)
+            if todo:
+                fresh = measurer([batch[i] for i in todo])
+                for i, value in zip(todo, fresh):
+                    results[i] = value
+                    diskcache.store(keys[i], {"cycles": value})
+            return results
 
     tuner = AutoTuner(
         measure,
@@ -232,7 +276,7 @@ def tune_tile_sizes(
         round_size=round_size,
         max_rounds=max_rounds,
         seed=seed,
-        batch_measure=measurer,
+        batch_measure=batch_measure,
     )
     try:
         return tuner.tune()

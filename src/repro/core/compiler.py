@@ -147,12 +147,42 @@ def build(
     compile one kernel at many tile sizes — the auto-tuner, the Auto Tiling
     probe loop — should run the front-end once and call ``backend_build``
     per candidate instead of calling ``build`` repeatedly.
+
+    Finished programs are memoized in the persistent disk cache under the
+    front-end's content key extended with the build options, so a warm
+    process recompiling an identical kernel unpickles the whole
+    :class:`CompileResult` (byte-identical program dump to a cold build).
     """
+    from repro.core import diskcache
+
     options = options or AkgOptions()
     frontend = run_frontend(
         outputs, name, hw=hw, scheduler_options=options.scheduler
     )
-    return backend_build(frontend, options)
+    key = _program_cache_key(frontend, options)
+    with perf.stage("backend.cache_probe"):
+        cached = diskcache.load(key)
+    if isinstance(cached, CompileResult):
+        return cached
+    result = backend_build(frontend, options)
+    diskcache.store(key, result)
+    return result
+
+
+def _program_cache_key(frontend: FrontEnd, options: AkgOptions) -> Optional[str]:
+    """Digest for one (kernel, options) compiled program; None → skip."""
+    from repro.core import diskcache
+
+    if frontend.cache_key is None or not diskcache.enabled():
+        return None
+    try:
+        return diskcache.digest(
+            "program",
+            frontend.cache_key,
+            diskcache.options_fingerprint(options),
+        )
+    except diskcache.FingerprintError:
+        return None
 
 
 def backend_build(

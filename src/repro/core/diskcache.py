@@ -1,0 +1,493 @@
+"""Persistent, content-addressed compilation cache.
+
+The auto-tuning loop (Sec. 5.3) and every ``akgc`` invocation re-run the
+polyhedral middle-end from scratch in a fresh process; PR 1 made repeated
+compilation cheap *within* one process by splitting the pipeline and
+memoizing the exact solvers, but nothing survived the process boundary.
+This module adds the third caching tier: compilation products are pickled
+to disk under a key derived from the *content* of the kernel (a stable
+digest of the tensor-expression IR), the build options, the hardware
+spec and the compiler version.  A warm process then rebuilds a kernel by
+unpickling instead of re-deriving — the same trade TVM makes with its
+persistent tuning/compilation cache.
+
+Design points:
+
+- **Content addressing.**  Keys are sha256 hex digests computed by
+  :func:`digest` over printable fingerprints.  The IR fingerprint walks
+  the tensor DAG assigning ids by topological visit order, so two
+  structurally identical kernels built in different processes (with
+  different ``id()`` values and auto-generated axis names) map to the
+  same key, while any change to shapes, dtypes, ops, immediates or
+  wiring changes the key.
+- **Atomic writes, tolerant reads.**  Entries are written to a temp file
+  and ``os.replace``-d into place, so a concurrent reader never sees a
+  half-written pickle.  Any failure to read an entry (truncation, stale
+  class layout, unpicklable garbage) counts as a miss and deletes the
+  bad file: a corrupt cache can cost a recompile, never a crash.
+- **Kill switches.**  ``REPRO_NO_DISK_CACHE=1`` disables the cache;
+  ``REPRO_CACHE_DIR`` moves it.  Both are read at call time so tests can
+  isolate cache state per-test.  The default root is
+  ``~/.cache/repro-akg``.
+- **Bounded size.**  ``put`` evicts oldest-mtime entries beyond
+  ``max_entries`` (default 4096); counters for hits/misses/stores/evicts
+  are surfaced through :func:`repro.tools.perf.report`.
+
+Correctness rests on the pipeline being a deterministic pure function of
+(IR, options, hw, version): a hit returns a pickle of exactly what the
+miss path would recompute, which the byte-identical-dump tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DiskCache",
+    "FingerprintError",
+    "digest",
+    "ir_fingerprint",
+    "hw_fingerprint",
+    "options_fingerprint",
+    "scheduler_fingerprint",
+    "enabled",
+    "get_cache",
+    "set_cache_dir",
+    "set_disk_cache_enabled",
+    "disabled",
+    "disk_cache_stats",
+    "reset_disk_cache_stats",
+]
+
+#: Bump whenever the pickled payload layout or the fingerprint scheme
+#: changes; old entries then miss instead of unpickling stale shapes.
+CACHE_FORMAT_VERSION = 1
+
+
+class FingerprintError(ValueError):
+    """The value cannot be stably fingerprinted (callers skip caching)."""
+
+
+# -- cache store ---------------------------------------------------------------
+
+
+class DiskCache:
+    """A directory of pickled values addressed by hex-digest keys.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
+    directory listings short).  All operations are safe against
+    concurrent readers/writers in other processes: writes are atomic
+    renames and reads treat any error as a miss.
+    """
+
+    def __init__(self, root: str, max_entries: int = 4096):
+        self.root = os.path.abspath(root)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.errors = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def _entries(self) -> List[str]:
+        """All entry paths currently on disk (unordered)."""
+        found: List[str] = []
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return found
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            found.extend(
+                os.path.join(shard_dir, n) for n in names if n.endswith(".pkl")
+            )
+        return found
+
+    # -- the store/load pair --------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value or ``None``; never raises.
+
+        A present-but-unreadable entry (truncated write from a killed
+        process, pickle from an incompatible code version) is deleted and
+        reported as a miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.errors += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` under ``key``; returns False on any failure.
+
+        Unpicklable values and full disks degrade to "not cached" —
+        compilation results must never depend on the cache's health.
+        """
+        path = self._path(key)
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.errors += 1
+            return False
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.errors += 1
+            return False
+        self.stores += 1
+        self._evict()
+        return True
+
+    def _evict(self) -> None:
+        """Drop oldest-mtime entries beyond ``max_entries``."""
+        entries = self._entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        dated = []
+        for path in entries:
+            try:
+                dated.append((os.path.getmtime(path), path))
+            except OSError:
+                continue
+        dated.sort()
+        for _, path in dated[:excess]:
+            try:
+                os.remove(path)
+                self.evictions += 1
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Remove every entry (the directories stay)."""
+        for path in self._entries():
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "errors": self.errors,
+            "entries": len(self._entries()),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.errors = 0
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"DiskCache({self.root!r}, hits={s['hits']}, "
+            f"misses={s['misses']}, entries={s['entries']})"
+        )
+
+
+# -- module-level cache handle -------------------------------------------------
+
+_DEFAULT_ROOT = os.path.join("~", ".cache", "repro-akg")
+_cache: Optional[DiskCache] = None
+_cache_root: Optional[str] = None
+_force_disabled = False
+_override_dir: Optional[str] = None
+
+
+def _configured_root() -> str:
+    return os.path.expanduser(
+        _override_dir or os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_ROOT
+    )
+
+
+def enabled() -> bool:
+    """Whether the persistent cache is active (env read at call time)."""
+    if _force_disabled:
+        return False
+    return os.environ.get("REPRO_NO_DISK_CACHE", "0") in ("0", "", "false")
+
+
+def get_cache() -> DiskCache:
+    """The process-wide cache bound to the configured directory.
+
+    Re-binds (keeping zeroed counters) when ``REPRO_CACHE_DIR`` changed
+    since the last call, so per-test tmpdir isolation works without any
+    explicit reset hook.
+    """
+    global _cache, _cache_root
+    root = _configured_root()
+    if _cache is None or _cache_root != root:
+        _cache = DiskCache(root)
+        _cache_root = root
+    return _cache
+
+
+def set_cache_dir(path: Optional[str]) -> None:
+    """Programmatic override of the cache directory (``None`` clears it)."""
+    global _override_dir
+    _override_dir = path
+
+
+def set_disk_cache_enabled(flag: bool) -> None:
+    """Programmatically force the cache on/off (overrides the env)."""
+    global _force_disabled
+    _force_disabled = not flag
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Context manager: run a block with the disk cache off."""
+    global _force_disabled
+    prior = _force_disabled
+    _force_disabled = True
+    try:
+        yield
+    finally:
+        _force_disabled = prior
+
+
+def disk_cache_stats() -> Dict[str, float]:
+    """Counters of the active cache (all-zero when disabled)."""
+    if not enabled():
+        return {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
+            "errors": 0, "entries": 0, "hit_rate": 0.0, "enabled": False,
+        }
+    stats = get_cache().stats()
+    stats["enabled"] = True
+    return stats
+
+
+def reset_disk_cache_stats() -> None:
+    """Zero the counters of the active cache (entries stay)."""
+    if _cache is not None:
+        _cache.reset_stats()
+
+
+# -- cached load/store helpers -------------------------------------------------
+
+
+def load(key: Optional[str]) -> Optional[Any]:
+    """Fetch ``key`` when caching is on; ``None`` key or disabled → miss."""
+    if key is None or not enabled():
+        return None
+    return get_cache().get(key)
+
+
+def store(key: Optional[str], value: Any) -> bool:
+    """Store under ``key`` when caching is on (no-op otherwise)."""
+    if key is None or not enabled():
+        return False
+    return get_cache().put(key, value)
+
+
+# -- fingerprints --------------------------------------------------------------
+
+
+def digest(*parts: str) -> str:
+    """sha256 over the version salt plus the given fingerprint strings."""
+    import sys
+
+    import repro
+
+    h = hashlib.sha256()
+    h.update(
+        f"repro={repro.__version__};fmt={CACHE_FORMAT_VERSION};"
+        f"py={sys.version_info.major}.{sys.version_info.minor}".encode()
+    )
+    for part in parts:
+        h.update(b"\x00")
+        h.update(part.encode())
+    return h.hexdigest()
+
+
+def ir_fingerprint(outputs) -> str:
+    """A stable, printable fingerprint of a tensor-expression DAG.
+
+    Identity-independent: tensors are numbered by topological visit
+    order and iter vars by first registration, so the auto-generated
+    names and Python object ids that differ between processes never leak
+    into the key, while every semantic attribute (shape, dtype, op kind,
+    immediates, access wiring, reduction axes) does.  Raises
+    :class:`FingerprintError` on unknown node types — callers skip
+    caching rather than guess.
+    """
+    from repro.ir.expr import (
+        BinaryOp,
+        Cast,
+        FloatImm,
+        IntImm,
+        IterVar,
+        Reduce,
+        Select,
+        TensorRef,
+        UnaryOp,
+    )
+    from repro.ir.tensor import Tensor
+
+    out_list = list(outputs) if isinstance(outputs, (list, tuple)) else [outputs]
+    tensor_ids: Dict[int, int] = {}
+    var_ids: Dict[int, int] = {}
+    chunks: List[str] = []
+
+    def var_id(v) -> int:
+        key = id(v)
+        if key not in var_ids:
+            var_ids[key] = len(var_ids)
+        return var_ids[key]
+
+    def expr_fp(e) -> str:
+        if isinstance(e, IntImm):
+            return f"i{e.value}"
+        if isinstance(e, FloatImm):
+            return f"f{e.value!r}:{e.dtype}"
+        if isinstance(e, IterVar):
+            return f"v{var_id(e)}"
+        if isinstance(e, TensorRef):
+            tid = tensor_ids[id(e.tensor)]
+            idx = ",".join(expr_fp(i) for i in e.indices)
+            return f"t{tid}[{idx}]"
+        if isinstance(e, BinaryOp):
+            return f"{e.op}({expr_fp(e.a)},{expr_fp(e.b)})"
+        if isinstance(e, UnaryOp):
+            return f"{e.op}({expr_fp(e.a)})"
+        if isinstance(e, Select):
+            return (
+                f"sel({expr_fp(e.cond)},{expr_fp(e.if_true)},"
+                f"{expr_fp(e.if_false)})"
+            )
+        if isinstance(e, Cast):
+            return f"cast<{e.dtype}>({expr_fp(e.a)})"
+        if isinstance(e, Reduce):
+            axes = ",".join(
+                f"v{var_id(a)}:{a.extent}:{a.kind}" for a in e.axes
+            )
+            return f"{e.op}[{axes}]({expr_fp(e.value)})"
+        raise FingerprintError(f"unfingerprintable expr node {type(e).__name__}")
+
+    def visit(t) -> None:
+        if not isinstance(t, Tensor):
+            raise FingerprintError(f"expected Tensor, got {type(t).__name__}")
+        if id(t) in tensor_ids:
+            return
+        if t.op is not None:
+            for dep in t.op.input_tensors():
+                visit(dep)
+        tid = len(tensor_ids)
+        tensor_ids[id(t)] = tid
+        head = f"T{tid}:{t.name}:{t.shape}:{t.dtype}"
+        if t.op is None:
+            chunks.append(head + ":ph")
+        else:
+            axes = ",".join(
+                f"v{var_id(a)}:{a.extent}:{a.kind}" for a in t.op.axes
+            )
+            chunks.append(f"{head}:axes[{axes}]:{expr_fp(t.op.body)}")
+
+    for out in out_list:
+        visit(out)
+    roots = ",".join(str(tensor_ids[id(t)]) for t in out_list)
+    return ";".join(chunks) + f";roots={roots}"
+
+
+def _stable_value(value) -> str:
+    """Render plain option/spec values deterministically."""
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_stable_value(k)}:{_stable_value(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_stable_value(v) for v in value) + "]"
+    if isinstance(value, (int, float, str, bool, Fraction)) or value is None:
+        return repr(value)
+    raise FingerprintError(f"unfingerprintable option value {type(value).__name__}")
+
+
+def hw_fingerprint(hw) -> str:
+    """Fingerprint of a :class:`~repro.hw.spec.HardwareSpec`."""
+    items = ",".join(
+        f"{name}={_stable_value(value)}"
+        for name, value in sorted(vars(hw).items())
+    )
+    return f"{type(hw).__name__}({items})"
+
+
+def scheduler_fingerprint(scheduler_options) -> str:
+    """Fingerprint of :class:`~repro.sched.scheduler.SchedulerOptions`."""
+    items = ",".join(
+        f"{name}={_stable_value(value)}"
+        for name, value in sorted(vars(scheduler_options).items())
+    )
+    return f"sched({items})"
+
+
+def options_fingerprint(options) -> str:
+    """Fingerprint of the backend-relevant fields of ``AkgOptions``.
+
+    ``scheduler`` is fingerprinted separately (it belongs to the
+    front-end key); ``emit_trace`` *is* included because it changes the
+    generated program.
+    """
+    fields = {}
+    for name, value in sorted(vars(options).items()):
+        if name == "scheduler":
+            continue
+        if name == "tile_policy" and value is not None:
+            value = value.render()
+        fields[name] = value
+    return "opts(" + _stable_value(fields) + ")"

@@ -74,6 +74,9 @@ class FrontEnd:
         self.band_rows = band_rows
         self.extents = extents
         self._split: Optional[Tuple[Clustering, DomainNode]] = None
+        # Content digest of (IR, name, hw, scheduler options) when the
+        # kernel could be fingerprinted; backend products key off it.
+        self.cache_key: Optional[str] = None
 
     # -- schedule-tree hand-out ---------------------------------------------------
 
@@ -119,9 +122,25 @@ def run_frontend(
 
     ``outputs`` is the tensor-expression output (or sequence of outputs)
     accepted by :func:`repro.core.compiler.build`.
+
+    The result is memoized in the persistent disk cache
+    (:mod:`repro.core.diskcache`) under a content digest of the IR, the
+    hardware spec and the scheduler options: a warm process unpickles the
+    finished front-end instead of re-running lowering, dependence
+    analysis and ILP scheduling.  Kernels that cannot be fingerprinted
+    compile normally and are simply not cached.
     """
+    from repro.core import diskcache
+
     hw = hw or HardwareSpec()
     scheduler_options = scheduler_options or SchedulerOptions()
+
+    key = _frontend_cache_key(outputs, name, hw, scheduler_options)
+    with perf.stage("frontend.cache_probe"):
+        cached = diskcache.load(key)
+    if isinstance(cached, FrontEnd):
+        cached.cache_key = key
+        return cached
 
     with perf.stage("frontend.lower"):
         kernel = lower(outputs, name)
@@ -136,7 +155,7 @@ def run_frontend(
 
     band_rows = _liveout_band_rows(master_tree, clustering)
     extents = _liveout_extents(kernel, clustering, band_rows)
-    return FrontEnd(
+    frontend = FrontEnd(
         name,
         hw,
         scheduler_options,
@@ -147,6 +166,29 @@ def run_frontend(
         band_rows,
         extents,
     )
+    frontend.cache_key = key
+    diskcache.store(key, frontend)
+    return frontend
+
+
+def _frontend_cache_key(
+    outputs, name: str, hw: HardwareSpec, scheduler_options: SchedulerOptions
+) -> Optional[str]:
+    """Digest identifying a front-end run; ``None`` → uncacheable kernel."""
+    from repro.core import diskcache
+
+    if not diskcache.enabled():
+        return None
+    try:
+        return diskcache.digest(
+            "frontend",
+            diskcache.ir_fingerprint(outputs),
+            name,
+            diskcache.hw_fingerprint(hw),
+            diskcache.scheduler_fingerprint(scheduler_options),
+        )
+    except diskcache.FingerprintError:
+        return None
 
 
 # -- live-out band geometry ------------------------------------------------------

@@ -110,6 +110,40 @@ class PolyStatement:
         # id(IterVar) -> canonical dim name, for the executor.
         self.var_names: Dict[int, str] = var_names or {}
 
+    # -- pickling ----------------------------------------------------------
+    #
+    # ``var_names`` is keyed by ``id(IterVar)``, and object ids do not
+    # survive a pickle round trip (the persistent disk cache and the
+    # parallel tuner both ship statements across process boundaries).  The
+    # state swaps the ids for the IterVar objects themselves — pickle
+    # preserves identity within one graph, and every var_names key comes
+    # from ``tensor.op.axes`` or the body's reduction axes, which travel
+    # with the statement — then rebuilds the id-keyed map on load.
+
+    def _axis_objects(self) -> List[IterVar]:
+        op = self.tensor.op
+        if op is None:
+            return []
+        axes = list(op.axes)
+        if isinstance(op.body, Reduce):
+            axes.extend(op.body.axes)
+        return axes
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        by_id = {id(v): v for v in self._axis_objects()}
+        state["var_names"] = [
+            (by_id[iv_id], name)
+            for iv_id, name in self.var_names.items()
+            if iv_id in by_id
+        ]
+        return state
+
+    def __setstate__(self, state):
+        pairs = state.pop("var_names")
+        self.__dict__.update(state)
+        self.var_names = {id(iv): name for iv, name in pairs}
+
     @property
     def space(self) -> Space:
         """Iteration space of the statement."""

@@ -28,6 +28,7 @@ from repro.poly.maps import BasicMap, Map
 from repro.poly.ilp import IlpProblem, IlpStatus
 from repro.poly.cache import (
     clear_solver_caches,
+    reset_solver_cache_stats,
     set_solver_cache_enabled,
     solver_cache_stats,
 )
@@ -45,5 +46,6 @@ __all__ = [
     "IlpStatus",
     "solver_cache_stats",
     "clear_solver_caches",
+    "reset_solver_cache_stats",
     "set_solver_cache_enabled",
 ]

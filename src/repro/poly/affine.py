@@ -19,9 +19,24 @@ Coeffs = Dict[str, Fraction]
 
 
 class AffineExpr:
-    """Immutable affine expression ``sum(coeff[v] * v) + const``."""
+    """Immutable affine expression ``sum(coeff[v] * v) + const``.
 
-    __slots__ = ("coeffs", "const")
+    The hash is computed once and memoized in the ``_hash`` slot:
+    expressions are the atoms of every solver-cache key (a key is a tuple
+    of constraints, each hashing its expression), so key construction is
+    a hot path during dependence analysis and footprint probing.  The
+    memo is excluded from pickles — Python string hashes are randomised
+    per process, so a pickled hash would be wrong on the other side.
+    """
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    # Interned single-variable expressions.  ``variable()`` is called far
+    # more often than any other constructor (deltas, renames, bounds
+    # objectives) and almost always for the same few dimension names; the
+    # cap keeps fresh-name generators from growing the table unboundedly.
+    _VAR_INTERN: Dict[str, "AffineExpr"] = {}
+    _VAR_INTERN_MAX = 4096
 
     def __init__(self, coeffs: Mapping[str, Number] | None = None, const: Number = 0):
         clean: Coeffs = {}
@@ -31,6 +46,16 @@ class AffineExpr:
                 clean[name] = f
         self.coeffs: Coeffs = clean
         self.const: Fraction = Fraction(const)
+        self._hash: int | None = None
+
+    # -- pickling (the hash memo must not cross process boundaries) --------
+
+    def __getstate__(self):
+        return (self.coeffs, self.const)
+
+    def __setstate__(self, state):
+        self.coeffs, self.const = state
+        self._hash = None
 
     # -- constructors ------------------------------------------------------
 
@@ -41,8 +66,13 @@ class AffineExpr:
 
     @staticmethod
     def variable(name: str) -> "AffineExpr":
-        """The expression ``1 * name``."""
-        return AffineExpr({name: 1}, 0)
+        """The expression ``1 * name`` (hash-consed per name)."""
+        interned = AffineExpr._VAR_INTERN.get(name)
+        if interned is None:
+            interned = AffineExpr({name: 1}, 0)
+            if len(AffineExpr._VAR_INTERN) < AffineExpr._VAR_INTERN_MAX:
+                AffineExpr._VAR_INTERN[name] = interned
+        return interned
 
     # -- queries -----------------------------------------------------------
 
@@ -125,7 +155,11 @@ class AffineExpr:
         return self.coeffs == other.coeffs and self.const == other.const
 
     def __hash__(self) -> int:
-        return hash((tuple(sorted(self.coeffs.items())), self.const))
+        h = self._hash
+        if h is None:
+            h = hash((tuple(sorted(self.coeffs.items())), self.const))
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         parts = []
@@ -161,11 +195,19 @@ class Constraint:
     division, which is exact for integer points).
     """
 
-    __slots__ = ("expr", "is_equality")
+    __slots__ = ("expr", "is_equality", "_hash")
 
     def __init__(self, expr: AffineExpr, is_equality: bool = False):
         self.expr = _normalize(expr, is_equality)
         self.is_equality = is_equality
+        self._hash: int | None = None
+
+    def __getstate__(self):
+        return (self.expr, self.is_equality)
+
+    def __setstate__(self, state):
+        self.expr, self.is_equality = state
+        self._hash = None
 
     @staticmethod
     def ge(lhs: AffineExpr | Number, rhs: AffineExpr | Number = 0) -> "Constraint":
@@ -227,7 +269,11 @@ class Constraint:
         return self.is_equality == other.is_equality and self.expr == other.expr
 
     def __hash__(self) -> int:
-        return hash((self.expr, self.is_equality))
+        h = self._hash
+        if h is None:
+            h = hash((self.expr, self.is_equality))
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:
         op = "=" if self.is_equality else ">="

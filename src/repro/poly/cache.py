@@ -33,6 +33,7 @@ __all__ = [
     "FM_CACHE",
     "solver_cache_stats",
     "clear_solver_caches",
+    "reset_solver_cache_stats",
     "set_solver_cache_enabled",
 ]
 
@@ -81,6 +82,11 @@ class SolveCache:
         self.hits = 0
         self.misses = 0
 
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping the memoized entries."""
+        self.hits = 0
+        self.misses = 0
+
     def stats(self) -> Dict[str, float]:
         """Counters plus derived hit rate (0.0 when never queried)."""
         total = self.hits + self.misses
@@ -124,6 +130,19 @@ def clear_solver_caches() -> None:
     """Empty every solver cache and reset its counters."""
     for c in _ALL:
         c.clear()
+
+
+def reset_solver_cache_stats() -> None:
+    """Zero hit/miss counters without dropping the memoized entries.
+
+    ``solver_cache_stats`` otherwise accumulates across builds, so any
+    per-build hit rate (bench rows, ``akgc --perf``) would blend the
+    current kernel's behaviour with everything compiled before it.  Call
+    this at the start of the region of interest; the warm entries stay,
+    which is the realistic steady-state being measured.
+    """
+    for c in _ALL:
+        c.reset_stats()
 
 
 def set_solver_cache_enabled(enabled: bool) -> None:

@@ -106,26 +106,47 @@ class IlpProblem:
         return IlpResult(result.status, result.value, dict(result.assignment))
 
     def _minimize_uncached(self, objective: AffineExpr, integer: bool) -> IlpResult:
-        constraints, objective, back_subst = _presolve_equalities(
-            self.constraints, objective
-        )
-        names = sorted(
-            {v for c in constraints for v in c.variables()}
-            | set(objective.variables())
-        )
-        interval = _interval_solve(constraints, objective, names, integer)
-        if interval is not None:
-            result = interval
-        elif integer:
-            result = _branch_and_bound(constraints, objective, names)
-        else:
-            result = _simplex_solve(constraints, objective, names)
-        if result.status is IlpStatus.OPTIMAL and back_subst:
-            assignment = dict(result.assignment)
-            for name, expr in reversed(back_subst):
-                assignment[name] = expr.evaluate(assignment)
-            result = IlpResult(result.status, result.value, assignment)
-        return result
+        constraints, back_subst = _presolve_system(self.constraints)
+        objective = _apply_back_substitutions(objective, back_subst)
+        return _solve_presolved(constraints, objective, back_subst, integer)
+
+    def batch_minimize(
+        self, objectives: Sequence[AffineExpr], integer: bool = True
+    ) -> List[IlpResult]:
+        """Minimise several objectives over the *same* constraint system.
+
+        The equality-elimination presolve depends only on the constraints,
+        so it runs at most once for the whole batch instead of once per
+        objective — dependence analysis poses 2·rank bounds queries per
+        relation and this is where that repetition is collapsed.  Each
+        objective still gets its own :data:`~repro.poly.cache.ILP_CACHE`
+        entry under exactly the key :meth:`minimize` would use, so batched
+        and one-at-a-time solves are interchangeable (bit-identical
+        results, shared cache lines).
+        """
+        from repro.poly.cache import ILP_CACHE
+
+        cons_key = tuple(self.constraints)
+        presolved: Optional[
+            Tuple[List[Constraint], List[Tuple[str, AffineExpr]]]
+        ] = None
+        out: List[IlpResult] = []
+        for objective in objectives:
+            key = (cons_key, objective, integer)
+            cached = ILP_CACHE.lookup(key)
+            if cached is not None:
+                out.append(
+                    IlpResult(cached.status, cached.value, dict(cached.assignment))
+                )
+                continue
+            if presolved is None:
+                presolved = _presolve_system(self.constraints)
+            constraints, back_subst = presolved
+            reduced = _apply_back_substitutions(objective, back_subst)
+            result = _solve_presolved(constraints, reduced, back_subst, integer)
+            ILP_CACHE.store(key, result)
+            out.append(IlpResult(result.status, result.value, dict(result.assignment)))
+        return out
 
     def maximize(self, objective: AffineExpr, integer: bool = True) -> IlpResult:
         """Maximise ``objective`` subject to the constraints."""
@@ -184,15 +205,17 @@ class IlpProblem:
 # -- presolve -----------------------------------------------------------------
 
 
-def _presolve_equalities(
-    constraints: Sequence[Constraint], objective: AffineExpr
-) -> Tuple[List[Constraint], AffineExpr, List[Tuple[str, AffineExpr]]]:
+def _presolve_system(
+    constraints: Sequence[Constraint],
+) -> Tuple[List[Constraint], List[Tuple[str, AffineExpr]]]:
     """Substitute away equalities with a +-1 coefficient variable.
 
     Unit-coefficient substitution is exact over the integers, so the
-    reduced problem has the same optimum.  Returns the reduced system, the
-    rewritten objective, and the back-substitution list (applied in
-    reverse to recover eliminated variables).
+    reduced problem has the same optimum.  Returns the reduced system and
+    the back-substitution list.  The elimination order depends only on
+    the constraints, never on any objective — :meth:`IlpProblem.batch_minimize`
+    relies on this to run the presolve once for a whole batch of
+    objectives over one system.
     """
     current = list(constraints)
     back: List[Tuple[str, AffineExpr]] = []
@@ -226,11 +249,51 @@ def _presolve_equalities(
                     continue
                 next_cons.append(other)
             current = next_cons
-            if objective.coeff(target) != 0:
-                objective = objective.substitute(env)
             changed = True
             break
-    return current, objective, back
+    return current, back
+
+
+def _apply_back_substitutions(
+    objective: AffineExpr, back: List[Tuple[str, AffineExpr]]
+) -> AffineExpr:
+    """Rewrite an objective through the eliminations, in elimination order.
+
+    A replacement recorded at step *k* may mention variables eliminated at
+    steps > *k* (they were still live when it was derived), so forward
+    application reproduces exactly the incremental substitution the
+    presolve loop used to perform inline.
+    """
+    for name, replacement in back:
+        if objective.coeff(name) != 0:
+            objective = objective.substitute({name: replacement})
+    return objective
+
+
+def _solve_presolved(
+    constraints: Sequence[Constraint],
+    objective: AffineExpr,
+    back_subst: List[Tuple[str, AffineExpr]],
+    integer: bool,
+) -> IlpResult:
+    """Solve a presolved system and back-substitute the assignment."""
+    names = sorted(
+        {v for c in constraints for v in c.variables()}
+        | set(objective.variables())
+    )
+    interval = _interval_solve(constraints, objective, names, integer)
+    if interval is not None:
+        result = interval
+    elif integer:
+        result = _branch_and_bound(constraints, objective, names)
+    else:
+        result = _simplex_solve(constraints, objective, names)
+    if result.status is IlpStatus.OPTIMAL and back_subst:
+        assignment = dict(result.assignment)
+        for name, expr in reversed(back_subst):
+            assignment[name] = expr.evaluate(assignment)
+        result = IlpResult(result.status, result.value, assignment)
+    return result
 
 
 def _interval_solve(

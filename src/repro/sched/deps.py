@@ -61,21 +61,35 @@ class Dependence:
         ``dst_dim - src_dim`` when it is constant over the relation, else
         ``None`` for that entry.  Returns ``None`` entirely when the
         statements have different dimensionality.
+
+        A ``None`` *entry* means the distance on that dimension is
+        unbounded or varies — callers deciding fusability/tilability must
+        use :attr:`is_uniform` rather than truthy-testing the vector (a
+        list of ``None`` entries is still truthy).
         """
         if len(self.src.iter_names) != len(self.dst.iter_names):
             return None
+        deltas = [
+            AffineExpr.variable(self.rename[d_dim]) - AffineExpr.variable(s_dim)
+            for s_dim, d_dim in zip(self.src.iter_names, self.dst.iter_names)
+        ]
         out: List[Optional[int]] = []
-        for s_dim, d_dim in zip(self.src.iter_names, self.dst.iter_names):
-            delta = AffineExpr.variable(self.rename[d_dim]) - AffineExpr.variable(
-                s_dim
-            )
-            lo = _expr_min(self.relation, delta)
-            hi = _expr_max(self.relation, delta)
-            if lo is not None and lo == hi:
-                out.append(lo)
-            else:
-                out.append(None)
+        for lo, hi in _expr_bounds(self.relation, deltas):
+            out.append(lo if (lo is not None and lo == hi) else None)
         return out
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every aligned dimension has a constant distance.
+
+        This is the explicit test the clustering/tiling layers need:
+        ``distance_vector()`` returning a list is *not* enough (entries
+        may be ``None`` for unbounded dims, and a list of ``None``s is
+        truthy), and a ``None`` return (rank mismatch) must also read as
+        non-uniform.
+        """
+        vec = self.distance_vector()
+        return vec is not None and all(d is not None for d in vec)
 
     def __repr__(self) -> str:
         return (
@@ -84,24 +98,103 @@ class Dependence:
         )
 
 
-def _expr_min(relation: BasicMap, expr: AffineExpr) -> Optional[int]:
+def _expr_bounds(
+    relation: BasicMap, exprs: Sequence[AffineExpr]
+) -> List[Tuple[Optional[int], Optional[int]]]:
+    """(min, max) of each expression over the relation, batched.
+
+    All 2·n objectives share one equality-elimination presolve of the
+    relation's constraint system via
+    :meth:`~repro.poly.ilp.IlpProblem.batch_minimize`.  The cache keys
+    match the ones ``minimize(e)`` / ``maximize(e)`` would use, so mixed
+    batched/unbatched callers share solver-cache entries.
+    """
     from repro.poly.ilp import IlpProblem, IlpStatus
 
     problem = IlpProblem(relation.constraints)
-    result = problem.minimize(expr, integer=True)
-    if result.status is IlpStatus.OPTIMAL:
-        return int(result.value)
-    return None
+    objectives: List[AffineExpr] = []
+    for e in exprs:
+        objectives.append(e)
+        objectives.append(e * -1)  # maximize(e) == -minimize(-e)
+    results = problem.batch_minimize(objectives, integer=True)
+    bounds: List[Tuple[Optional[int], Optional[int]]] = []
+    for k in range(len(exprs)):
+        lo_res, neg_hi_res = results[2 * k], results[2 * k + 1]
+        lo = int(lo_res.value) if lo_res.status is IlpStatus.OPTIMAL else None
+        hi = (
+            int(-neg_hi_res.value)
+            if neg_hi_res.status is IlpStatus.OPTIMAL
+            else None
+        )
+        bounds.append((lo, hi))
+    return bounds
 
 
-def _expr_max(relation: BasicMap, expr: AffineExpr) -> Optional[int]:
-    from repro.poly.ilp import IlpProblem, IlpStatus
+# -- bounding-box pruning ------------------------------------------------------
+#
+# Before posing an exact ILP emptiness test for an access pair, compare the
+# per-dimension interval footprints of the two accesses.  Statement domains
+# here are rectangular (every iterator ranges over [0, extent-1]), so the
+# min/max of an affine index expression over the domain is closed-form from
+# the coefficient signs — no solver involved.  The interval hull is a
+# superset of each access's true image; disjoint hulls on any tensor
+# dimension therefore *prove* the access-equality system empty, and the
+# pair can be skipped.  Overlapping hulls prove nothing and fall through to
+# the exact test, so pruning never changes the computed dependence set
+# (the regression tests assert pruned == unpruned on every example kernel).
 
-    problem = IlpProblem(relation.constraints)
-    result = problem.maximize(expr, integer=True)
-    if result.status is IlpStatus.OPTIMAL:
-        return int(result.value)
-    return None
+_PRUNE_STATS = {"pairs_checked": 0, "pairs_pruned": 0}
+
+
+def dependence_prune_stats() -> Dict[str, int]:
+    """Counters of the bounding-box pre-check (process-global)."""
+    return dict(_PRUNE_STATS)
+
+
+def reset_dependence_prune_stats() -> None:
+    """Zero the pruning counters."""
+    _PRUNE_STATS["pairs_checked"] = 0
+    _PRUNE_STATS["pairs_pruned"] = 0
+
+
+def _access_box(
+    stmt: PolyStatement, acc: TensorAccess
+) -> Optional[List[Tuple[int, int]]]:
+    """Interval hull of the access image over the statement's domain.
+
+    One (lo, hi) pair per tensor dimension; ``None`` for non-affine
+    accesses (which conservatively cover the whole tensor).
+    """
+    if acc.indices is None:
+        return None
+    extents = dict(zip(stmt.iter_names, stmt.iter_extents))
+    box: List[Tuple[int, int]] = []
+    for idx in acc.indices:
+        lo = hi = idx.const
+        for name, coeff in idx.coeffs.items():
+            extent = extents.get(name)
+            if extent is None:
+                return None  # free symbol: no closed-form hull
+            top = coeff * (extent - 1)
+            if coeff > 0:
+                hi += top
+            else:
+                lo += top
+        box.append((lo, hi))
+    return box
+
+
+def _boxes_disjoint(
+    box_a: Optional[List[Tuple[int, int]]],
+    box_b: Optional[List[Tuple[int, int]]],
+) -> bool:
+    """True when the hulls cannot intersect on some tensor dimension."""
+    if box_a is None or box_b is None:
+        return False
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(box_a, box_b):
+        if hi_a < lo_b or hi_b < lo_a:
+            return True
+    return False
 
 
 def _access_equal_constraints(
@@ -127,10 +220,23 @@ def _dependence_relations(
     dst: PolyStatement,
     src_acc: TensorAccess,
     dst_acc: TensorAccess,
+    prune: bool = True,
 ) -> Tuple[List[BasicMap], Dict[str, str]]:
-    """All dependence relations from ``src_acc`` to ``dst_acc`` instances."""
+    """All dependence relations from ``src_acc`` to ``dst_acc`` instances.
+
+    With ``prune=True`` (the default) access pairs whose interval hulls
+    are provably disjoint are rejected before any ILP emptiness test;
+    ``prune=False`` forces the exact path (used by the equivalence
+    regression tests and available for debugging).
+    """
     rename = {d: f"{d}__dst" for d in dst.iter_names}
     dst_space = Space(dst.stmt_id + "'", [rename[d] for d in dst.iter_names])
+
+    if prune:
+        _PRUNE_STATS["pairs_checked"] += 1
+        if _boxes_disjoint(_access_box(src, src_acc), _access_box(dst, dst_acc)):
+            _PRUNE_STATS["pairs_pruned"] += 1
+            return [], rename
 
     base_cons: List[Constraint] = []
     base_cons.extend(src.domain().constraints)
@@ -163,8 +269,14 @@ def _dependence_relations(
     return relations, rename
 
 
-def compute_dependences(kernel: LoweredKernel) -> List[Dependence]:
-    """All flow, anti and output dependences of a lowered kernel."""
+def compute_dependences(
+    kernel: LoweredKernel, prune: bool = True
+) -> List[Dependence]:
+    """All flow, anti and output dependences of a lowered kernel.
+
+    ``prune`` toggles the bounding-box pre-check (sound, so the result is
+    identical either way; off is only useful for validation/timing).
+    """
     deps: List[Dependence] = []
     statements = kernel.statements
     order = {s.stmt_id: i for i, s in enumerate(statements)}
@@ -188,7 +300,9 @@ def compute_dependences(kernel: LoweredKernel) -> List[Dependence]:
                 # (the lex-order constraint in the relation orients them),
                 # but the diagonal (i == j) need only be visited once --
                 # the loop naturally hits it exactly once.
-                relations, rename = _dependence_relations(s_a, s_b, acc_a, acc_b)
+                relations, rename = _dependence_relations(
+                    s_a, s_b, acc_a, acc_b, prune=prune
+                )
                 if w_a and w_b:
                     kind = "output"
                 elif w_a:

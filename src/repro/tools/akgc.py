@@ -87,6 +87,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sync", default="dp", choices=["dp", "empirical", "naive"])
     parser.add_argument("--perf", action="store_true",
                         help="print per-stage compile timings + solver cache stats")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persistent compilation cache directory "
+                             "(overrides REPRO_CACHE_DIR)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="compile without the persistent disk cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print disk/solver cache counters after the build")
     parser.add_argument("--dump-tree", action="store_true")
     parser.add_argument("--dump-cce", action="store_true")
     parser.add_argument("--dump-program", action="store_true")
@@ -94,10 +101,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="also compile the three baselines")
     args = parser.parse_args(argv)
 
+    from repro.core import diskcache
     from repro.core.compiler import AkgOptions, build
+    from repro.poly.cache import reset_solver_cache_stats
     from repro.tools import perf
 
+    if args.cache_dir:
+        diskcache.set_cache_dir(args.cache_dir)
+    if args.no_disk_cache:
+        diskcache.set_disk_cache_enabled(False)
+
     perf.reset()
+    reset_solver_cache_stats()
+    diskcache.reset_disk_cache_stats()
     out = _build_kernel(args)
     options = AkgOptions(
         tile_policy=args.tile_policy,
@@ -119,6 +135,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.perf:
         print("\n=== compile-time breakdown ===")
         print(perf.format_report())
+    if args.cache_stats:
+        print("\n=== cache counters ===")
+        stats = diskcache.disk_cache_stats()
+        if stats.get("enabled"):
+            print(
+                f"disk cache    : {stats['hits']} hits, {stats['misses']} "
+                f"misses, {stats['stores']} stores, {stats['entries']} "
+                f"entries ({diskcache.get_cache().root})"
+            )
+        else:
+            print("disk cache    : disabled")
+        from repro.poly.cache import solver_cache_stats
+
+        for cname, s in solver_cache_stats().items():
+            print(
+                f"solver [{cname:<4}] : {s['hits']} hits, {s['misses']} misses "
+                f"({100.0 * s['hit_rate']:.1f}%)"
+            )
     if args.dump_tree:
         print("\n=== schedule tree ===")
         print(result.tree.render())

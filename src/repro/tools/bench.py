@@ -32,14 +32,20 @@ best_cycles, candidates, results_agree}}, "stages": ...,
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import multiprocessing
+import os
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.autotune.tuner import AutoTuner
+from repro.core import diskcache
 from repro.poly.cache import (
     clear_solver_caches,
+    reset_solver_cache_stats,
     set_solver_cache_enabled,
     solver_cache_stats,
 )
@@ -131,7 +137,20 @@ def _staged_tune(
 def run_suite(
     quick: bool = False, parallel: bool = False, seed: int = 0
 ) -> Dict[str, object]:
-    """Run every kernel through the three configurations; return the report."""
+    """Run every kernel through the three configurations; return the report.
+
+    The persistent disk cache is off for the whole suite: this benchmark
+    isolates the *in-process* pipeline configurations, and a disk hit in
+    the legacy phase would measure unpickling instead of compilation.
+    The disk cache has its own benchmark (:func:`run_diskcache_suite`).
+    """
+    with diskcache.disabled():
+        return _run_suite_nodisk(quick, parallel, seed)
+
+
+def _run_suite_nodisk(
+    quick: bool, parallel: bool, seed: int
+) -> Dict[str, object]:
     params = _tuner_params(quick)
     results: Dict[str, object] = {}
 
@@ -187,6 +206,184 @@ def run_suite(
     }
 
 
+# -- the cold-vs-warm disk-cache benchmark ------------------------------------
+#
+# Each measurement runs in a freshly *spawned* process so "warm" means
+# exactly what a user sees: a new ``akgc``/tuner invocation finding the
+# previous invocation's cache on disk.  Three children run per kernel —
+# cold (empty cache dir), warm (same dir), and no-cache — and the report
+# checks that all three produce byte-identical program dumps.  A second
+# trio repeats the experiment for the auto-tuner and checks the best tile
+# sizes agree.  When no spawn context is available the children run
+# in-process with solver caches cleared (noted in the report).
+
+
+def _diskcache_env(cache_dir: Optional[str], disable: bool) -> None:
+    if disable:
+        os.environ["REPRO_NO_DISK_CACHE"] = "1"
+    else:
+        os.environ.pop("REPRO_NO_DISK_CACHE", None)
+        if cache_dir:
+            os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+
+def _diskcache_build_child(payload: Tuple) -> Dict[str, object]:
+    """One timed ``build()`` in this (ideally fresh) process."""
+    name, quick, cache_dir, disable = payload
+    _diskcache_env(cache_dir, disable)
+    clear_solver_caches()
+    diskcache.reset_disk_cache_stats()
+    from repro.core.compiler import build
+
+    outputs = _kernels(quick)[name]()
+    t0 = time.perf_counter()
+    result = build(outputs, f"bench_{name}")
+    seconds = time.perf_counter() - t0
+    dump = result.program.dump()
+    return {
+        "seconds": seconds,
+        "dump_sha": hashlib.sha256(dump.encode()).hexdigest(),
+        "tile_sizes": list(result.tile_sizes),
+        "cycles": int(result.cycles()),
+        "disk": diskcache.disk_cache_stats(),
+    }
+
+
+def _diskcache_tune_child(payload: Tuple) -> Dict[str, object]:
+    """One timed auto-tuning run in this (ideally fresh) process."""
+    name, quick, cache_dir, disable, seed = payload
+    _diskcache_env(cache_dir, disable)
+    clear_solver_caches()
+    from repro.autotune.tuner import tune_tile_sizes
+
+    params = _tuner_params(quick)
+    outputs = _kernels(quick)[name]()
+    t0 = time.perf_counter()
+    best, history = tune_tile_sizes(
+        outputs, f"bench_{name}", seed=seed, **params
+    )
+    return {
+        "seconds": time.perf_counter() - t0,
+        "best_sizes": list(best),
+        "candidates": len(history),
+    }
+
+
+def _run_in_fresh_process(fn, payload) -> Tuple[Dict[str, object], bool]:
+    """Run ``fn(payload)`` in a spawned child; in-process fallback.
+
+    Spawn (not fork) guarantees the child starts with cold module state —
+    no inherited solver caches, no inherited diskcache handle.  Returns
+    ``(result, ran_in_fresh_process)``.
+    """
+    try:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            return pool.apply(fn, (payload,)), True
+    except Exception:
+        saved = {
+            k: os.environ.get(k)
+            for k in ("REPRO_CACHE_DIR", "REPRO_NO_DISK_CACHE")
+        }
+        try:
+            return fn(payload), False
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+
+
+def run_diskcache_suite(
+    quick: bool = False,
+    seed: int = 0,
+    kernels: Sequence[str] = ("matmul", "conv2d"),
+) -> Dict[str, object]:
+    """Cold/warm/no-cache process benchmark of the persistent cache."""
+    results: Dict[str, object] = {}
+    all_fresh = True
+    reset_solver_cache_stats()
+    for name in kernels:
+        with tempfile.TemporaryDirectory(prefix="repro-diskcache-") as cdir:
+            cold, fresh1 = _run_in_fresh_process(
+                _diskcache_build_child, (name, quick, cdir, False)
+            )
+            warm, fresh2 = _run_in_fresh_process(
+                _diskcache_build_child, (name, quick, cdir, False)
+            )
+            nocache, fresh3 = _run_in_fresh_process(
+                _diskcache_build_child, (name, quick, None, True)
+            )
+            tune_first, fresh4 = _run_in_fresh_process(
+                _diskcache_tune_child, (name, quick, cdir, False, seed)
+            )
+            tune_warm, fresh5 = _run_in_fresh_process(
+                _diskcache_tune_child, (name, quick, cdir, False, seed)
+            )
+            tune_nocache, fresh6 = _run_in_fresh_process(
+                _diskcache_tune_child, (name, quick, None, True, seed)
+            )
+            all_fresh = all_fresh and all(
+                (fresh1, fresh2, fresh3, fresh4, fresh5, fresh6)
+            )
+        results[name] = {
+            "cold_seconds": cold["seconds"],
+            "warm_seconds": warm["seconds"],
+            "speedup_warm_vs_cold": cold["seconds"]
+            / max(warm["seconds"], 1e-9),
+            "warm_hit": warm["disk"]["hits"] > 0,
+            "dumps_identical": (
+                cold["dump_sha"] == warm["dump_sha"] == nocache["dump_sha"]
+            ),
+            "tile_sizes": warm["tile_sizes"],
+            "cycles": warm["cycles"],
+            "tune_first_seconds": tune_first["seconds"],
+            "tune_warm_seconds": tune_warm["seconds"],
+            "tune_speedup": tune_first["seconds"]
+            / max(tune_warm["seconds"], 1e-9),
+            "tuner_best_sizes": tune_warm["best_sizes"],
+            "tuner_agree": (
+                tune_first["best_sizes"]
+                == tune_warm["best_sizes"]
+                == tune_nocache["best_sizes"]
+                and tune_first["candidates"]
+                == tune_warm["candidates"]
+                == tune_nocache["candidates"]
+            ),
+        }
+    return {
+        "benchmark": "diskcache",
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "fresh_processes": all_fresh,
+            **_tuner_params(quick),
+        },
+        "kernels": results,
+    }
+
+
+def _format_diskcache_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'kernel':<12}{'cold(s)':>9}{'warm(s)':>9}{'speedup':>9}"
+        f"{'tune1(s)':>10}{'tune2(s)':>10}{'speedup':>9}{'dump==':>8}"
+        f"{'tuner==':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["kernels"].items():
+        lines.append(
+            f"{name:<12}{row['cold_seconds']:>9.3f}{row['warm_seconds']:>9.3f}"
+            f"{row['speedup_warm_vs_cold']:>8.1f}x"
+            f"{row['tune_first_seconds']:>10.3f}"
+            f"{row['tune_warm_seconds']:>10.3f}"
+            f"{row['tune_speedup']:>8.1f}x"
+            f"{'yes' if row['dumps_identical'] else 'NO':>8}"
+            f"{'yes' if row['tuner_agree'] else 'NO':>9}"
+        )
+    return "\n".join(lines)
+
+
 def _format_table(report: Dict[str, object]) -> str:
     header = (
         f"{'kernel':<12}{'legacy(s)':>11}{'mono+cache(s)':>15}"
@@ -215,14 +412,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--out", default="BENCH_pipeline.json", help="output JSON path"
+        "--diskcache", action="store_true",
+        help="run the cold-vs-warm persistent-cache benchmark instead",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default BENCH_pipeline.json, or "
+             "BENCH_diskcache.json with --diskcache)",
     )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (
+            "BENCH_diskcache.json" if args.diskcache else "BENCH_pipeline.json"
+        )
 
-    report = run_suite(quick=args.quick, parallel=args.parallel, seed=args.seed)
-    print(_format_table(report))
-    print()
-    print(perf.format_report())
+    if args.diskcache:
+        report = run_diskcache_suite(quick=args.quick, seed=args.seed)
+        if not report["config"]["fresh_processes"]:
+            print("warning: spawn unavailable; measurements ran in-process")
+        print(_format_diskcache_table(report))
+    else:
+        report = run_suite(
+            quick=args.quick, parallel=args.parallel, seed=args.seed
+        )
+        print(_format_table(report))
+        print()
+        print(perf.format_report())
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -58,7 +58,8 @@ def reset() -> None:
 
 
 def report() -> Dict[str, Dict[str, float]]:
-    """Snapshot: ``{"stages": {name: {seconds, calls}}, "solver_cache": ...}``."""
+    """Snapshot: stage timings plus solver-cache and disk-cache counters."""
+    from repro.core.diskcache import disk_cache_stats
     from repro.poly.cache import solver_cache_stats
 
     return {
@@ -67,6 +68,7 @@ def report() -> Dict[str, Dict[str, float]]:
             for name in sorted(_totals)
         },
         "solver_cache": solver_cache_stats(),
+        "disk_cache": disk_cache_stats(),
     }
 
 
@@ -89,4 +91,13 @@ def format_report() -> str:
             f"misses ({100.0 * s['hit_rate']:.1f}% hit rate, "
             f"{s['entries']} entries)"
         )
+    d = data["disk_cache"]
+    if d.get("enabled"):
+        lines.append(
+            f"disk cache: {d['hits']} hits / {d['misses']} misses "
+            f"({100.0 * d['hit_rate']:.1f}% hit rate, {d['stores']} stores, "
+            f"{d['entries']} entries)"
+        )
+    else:
+        lines.append("disk cache: disabled")
     return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Shared fixtures: isolate the persistent disk cache per test.
+
+Every test gets its own ``REPRO_CACHE_DIR`` under pytest's tmpdir, so
+
+- tests never read (or pollute) the developer's ``~/.cache/repro-akg``;
+- cache-hit assertions start from a genuinely cold cache;
+- tests that flip the module-level overrides (``set_cache_dir`` /
+  ``set_disk_cache_enabled``, e.g. through ``akgc`` flags) are reset
+  afterwards.
+"""
+
+import pytest
+
+from repro.core import diskcache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    diskcache.set_cache_dir(None)
+    diskcache.set_disk_cache_enabled(True)
+    diskcache.reset_disk_cache_stats()
+    yield
+    diskcache.set_cache_dir(None)
+    diskcache.set_disk_cache_enabled(True)

@@ -1,0 +1,250 @@
+"""The persistent compilation cache: store semantics and end-to-end reuse.
+
+Covers the three layers separately:
+
+- :class:`~repro.core.diskcache.DiskCache` itself (round trips, corrupt
+  entries, eviction, kill switches);
+- the fingerprints (identity-independence, sensitivity to every semantic
+  attribute);
+- the wiring (warm ``run_frontend``/``build`` hit the cache and return
+  byte-identical programs; the tuner replays measurements and converges
+  on the same best sizes).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import diskcache
+from repro.core.compiler import AkgOptions, build
+from repro.core.frontend import FrontEnd, run_frontend
+from repro.ir import ops
+from repro.ir.tensor import placeholder
+
+
+def _relu_kernel(shape=(16, 24)):
+    x = placeholder(shape, dtype="fp16", name="X")
+    return ops.relu(x, name="out")
+
+
+def _matmul_kernel(m=12, k=10, n=8):
+    a = placeholder((m, k), dtype="fp16", name="A")
+    b = placeholder((k, n), dtype="fp16", name="B")
+    return ops.matmul(a, b, name="out")
+
+
+class TestDiskCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        key = diskcache.digest("unit", "round-trip")
+        assert cache.get(key) is None
+        assert cache.put(key, {"payload": [1, 2, 3]})
+        assert cache.get(key) == {"payload": [1, 2, 3]}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        key = diskcache.digest("unit", "corrupt")
+        cache.put(key, "fine")
+        path = cache._path(key)
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x05 this is not a pickle")
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+        assert cache.errors == 1
+        # The next put/get pair works again.
+        cache.put(key, "fine again")
+        assert cache.get(key) == "fine again"
+
+    def test_truncated_entry_tolerated(self, tmp_path):
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        key = diskcache.digest("unit", "truncated")
+        cache.put(key, list(range(1000)))
+        path = cache._path(key)
+        with open(path, "rb") as fh:
+            head = fh.read(10)
+        with open(path, "wb") as fh:
+            fh.write(head)
+        assert cache.get(key) is None
+
+    def test_unpicklable_value_degrades_to_not_cached(self, tmp_path):
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        key = diskcache.digest("unit", "unpicklable")
+        assert not cache.put(key, lambda: None)
+        assert cache.get(key) is None
+
+    def test_eviction_bounds_entry_count(self, tmp_path):
+        cache = diskcache.DiskCache(str(tmp_path / "c"), max_entries=3)
+        keys = [diskcache.digest("unit", f"evict-{i}") for i in range(6)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert len(cache) <= 3
+        assert cache.evictions >= 3
+
+    def test_clear(self, tmp_path):
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        for i in range(4):
+            cache.put(diskcache.digest("unit", f"clear-{i}"), i)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestKillSwitches:
+    def test_env_disable(self, monkeypatch):
+        key = diskcache.digest("unit", "env-disable")
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        assert not diskcache.enabled()
+        assert not diskcache.store(key, "x")
+        assert diskcache.load(key) is None
+        assert diskcache.disk_cache_stats() == {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
+            "errors": 0, "entries": 0, "hit_rate": 0.0, "enabled": False,
+        }
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE")
+        assert diskcache.enabled()
+
+    def test_programmatic_disable_and_context(self):
+        key = diskcache.digest("unit", "prog-disable")
+        diskcache.set_disk_cache_enabled(False)
+        try:
+            assert not diskcache.enabled()
+        finally:
+            diskcache.set_disk_cache_enabled(True)
+        with diskcache.disabled():
+            assert not diskcache.enabled()
+            assert not diskcache.store(key, "x")
+        assert diskcache.enabled()
+
+    def test_cache_dir_override_rebinds(self, tmp_path):
+        diskcache.set_cache_dir(str(tmp_path / "override"))
+        try:
+            assert diskcache.get_cache().root == str(tmp_path / "override")
+            key = diskcache.digest("unit", "override")
+            diskcache.store(key, 42)
+            assert diskcache.load(key) == 42
+        finally:
+            diskcache.set_cache_dir(None)
+        assert diskcache.get_cache().root != str(tmp_path / "override")
+
+    def test_none_key_is_never_cached(self):
+        assert diskcache.load(None) is None
+        assert not diskcache.store(None, "x")
+
+
+class TestFingerprints:
+    def test_identity_independent(self):
+        # Two structurally identical DAGs built separately (fresh Python
+        # objects, fresh auto-named axes) fingerprint identically.
+        assert diskcache.ir_fingerprint(_matmul_kernel()) == (
+            diskcache.ir_fingerprint(_matmul_kernel())
+        )
+
+    def test_sensitive_to_shape_dtype_and_op(self):
+        base = diskcache.ir_fingerprint(_relu_kernel((16, 24)))
+        assert diskcache.ir_fingerprint(_relu_kernel((16, 25))) != base
+        x32 = placeholder((16, 24), dtype="fp32", name="X")
+        assert diskcache.ir_fingerprint(ops.relu(x32, name="out")) != base
+        x = placeholder((16, 24), dtype="fp16", name="X")
+        assert diskcache.ir_fingerprint(ops.abs_op(x, name="out")) != base
+
+    def test_digest_changes_with_parts(self):
+        assert diskcache.digest("a") != diskcache.digest("b")
+        assert diskcache.digest("a", "b") != diskcache.digest("ab")
+
+    def test_stable_value_rejects_exotic_types(self):
+        with pytest.raises(diskcache.FingerprintError):
+            diskcache._stable_value(object())
+
+    def test_options_fingerprint_distinguishes_tile_sizes(self):
+        a = diskcache.options_fingerprint(AkgOptions(tile_sizes=[8, 8]))
+        b = diskcache.options_fingerprint(AkgOptions(tile_sizes=[8, 16]))
+        assert a != b
+
+
+class TestCompilationReuse:
+    def test_frontend_warm_hit(self):
+        diskcache.reset_disk_cache_stats()
+        fe1 = run_frontend(_matmul_kernel(), "reuse")
+        assert fe1.cache_key is not None
+        stats = diskcache.disk_cache_stats()
+        assert stats["stores"] >= 1 and stats["hits"] == 0
+        fe2 = run_frontend(_matmul_kernel(), "reuse")
+        assert fe2 is not fe1  # unpickled, not the same object
+        assert fe2.cache_key == fe1.cache_key
+        assert diskcache.disk_cache_stats()["hits"] >= 1
+        assert fe2.extents == fe1.extents
+        assert len(fe2.deps) == len(fe1.deps)
+
+    def test_build_warm_dump_is_byte_identical(self):
+        cold = build(_matmul_kernel(), "dump")
+        warm = build(_matmul_kernel(), "dump")
+        with diskcache.disabled():
+            nocache = build(_matmul_kernel(), "dump")
+        assert cold.program.dump() == warm.program.dump()
+        assert cold.program.dump() == nocache.program.dump()
+        assert cold.tile_sizes == warm.tile_sizes == nocache.tile_sizes
+        assert cold.cycles() == warm.cycles() == nocache.cycles()
+
+    def test_warm_result_executes_correctly(self):
+        """The unpickled program replays: PolyStatement.var_names (an
+        ``id()``-keyed map in the live process) survives the round trip."""
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((12, 10)).astype(np.float32)
+        b = rng.standard_normal((10, 8)).astype(np.float32)
+        opts = AkgOptions(emit_trace=True)
+        cold = build(_matmul_kernel(), "exec", options=opts)
+        warm = build(_matmul_kernel(), "exec", options=opts)
+        got_cold = cold.execute({"A": a, "B": b})["out"]
+        got_warm = warm.execute({"A": a, "B": b})["out"]
+        np.testing.assert_allclose(got_warm, got_cold, rtol=1e-5)
+        np.testing.assert_allclose(got_warm, a @ b, rtol=1e-2, atol=1e-2)
+
+    def test_frontend_pickle_round_trip_directly(self):
+        fe = run_frontend(_matmul_kernel(), "pickle")
+        clone = pickle.loads(pickle.dumps(fe))
+        assert isinstance(clone, FrontEnd)
+        assert clone.extents == fe.extents
+        # var_names must come back as a usable id-keyed map.
+        for stmt, cstmt in zip(fe.kernel.statements, clone.kernel.statements):
+            assert sorted(stmt.var_names.values()) == (
+                sorted(cstmt.var_names.values())
+            )
+
+    def test_different_options_do_not_collide(self):
+        fused = build(_matmul_kernel(), "opt")
+        manual = build(
+            _matmul_kernel(), "opt", options=AkgOptions(tile_sizes=[4, 4])
+        )
+        assert manual.tile_sizes == [4, 4]
+        assert fused.tile_sizes != manual.tile_sizes or (
+            fused.program.dump() == manual.program.dump()
+        )
+
+    def test_tuner_warm_agrees_with_cold(self):
+        from repro.autotune.tuner import tune_tile_sizes
+
+        params = dict(first_round=4, round_size=2, max_rounds=1, seed=3)
+        best_cold, hist_cold = tune_tile_sizes(
+            _matmul_kernel(), "tune", **params
+        )
+        diskcache.reset_disk_cache_stats()
+        best_warm, hist_warm = tune_tile_sizes(
+            _matmul_kernel(), "tune", **params
+        )
+        assert best_warm == best_cold
+        assert len(hist_warm) == len(hist_cold)
+        assert [r.cycles for r in hist_warm] == [r.cycles for r in hist_cold]
+        # The warm run replayed measurements from the persistent cache.
+        assert diskcache.disk_cache_stats()["hits"] >= len(hist_cold)
+        with diskcache.disabled():
+            best_nocache, hist_nocache = tune_tile_sizes(
+                _matmul_kernel(), "tune", **params
+            )
+        assert best_nocache == best_cold
+        assert len(hist_nocache) == len(hist_cold)

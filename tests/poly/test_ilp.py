@@ -212,3 +212,75 @@ def test_lexmin_matches_brute_force(lo1, width1, lo2, width2):
         assert point is None
     else:
         assert (point["x"], point["y"]) == feasible[0]
+
+
+class TestBatchMinimize:
+    """batch_minimize must be indistinguishable from minimize in a loop."""
+
+    def _diamond(self):
+        p = IlpProblem()
+        p.add_constraint(Constraint.ge(var("x") + var("y"), 1))
+        p.add_constraint(Constraint.le(var("x") + var("y"), 9))
+        p.add_constraint(Constraint.ge(var("x") - var("y"), -4))
+        p.add_constraint(Constraint.le(var("x") - var("y"), 4))
+        p.add_constraint(Constraint.eq(var("z"), var("x") + 2))
+        return p
+
+    def test_matches_sequential_minimize(self):
+        objectives = [
+            var("x"),
+            var("x") * -1,
+            var("y"),
+            var("z"),
+            var("x") + var("y") * 3,
+        ]
+        batched = self._diamond().batch_minimize(objectives)
+        for obj, got in zip(objectives, batched):
+            want = self._diamond().minimize(obj)
+            assert got.status is want.status
+            assert got.value == want.value
+            assert got.assignment == want.assignment
+
+    def test_shares_cache_lines_with_minimize(self):
+        from repro.poly.cache import ILP_CACHE, clear_solver_caches
+
+        clear_solver_caches()
+        self._diamond().minimize(var("x"))
+        assert ILP_CACHE.misses == 1 and ILP_CACHE.hits == 0
+        self._diamond().batch_minimize([var("x"), var("y")])
+        # x hits the entry minimize stored; only y misses.
+        assert ILP_CACHE.hits == 1 and ILP_CACHE.misses == 2
+        self._diamond().minimize(var("y"))
+        assert ILP_CACHE.hits == 2
+        clear_solver_caches()
+
+    def test_infeasible_and_unbounded_members(self):
+        p = IlpProblem()
+        p.add_constraint(Constraint.ge(var("x"), 3))
+        p.add_constraint(Constraint.le(var("x"), 1))
+        rs = p.batch_minimize([var("x"), var("x") * -1])
+        assert all(r.status is IlpStatus.INFEASIBLE for r in rs)
+        q = IlpProblem([Constraint.ge(var("x"), 0)])
+        rs = q.batch_minimize([var("x"), var("x") * -1])
+        assert rs[0].status is IlpStatus.OPTIMAL and rs[0].value == 0
+        assert rs[1].status is IlpStatus.UNBOUNDED
+
+    def test_assignments_are_isolated_copies(self):
+        rs = self._diamond().batch_minimize([var("x"), var("x")])
+        rs[0].assignment["x"] = Fraction(777)
+        assert rs[1].assignment["x"] != Fraction(777)
+
+    def test_empty_batch(self):
+        assert self._diamond().batch_minimize([]) == []
+
+    def test_rational_batch(self):
+        # Equalities are not tightened: x == y/2, y == 1 -> x = 1/2.
+        p = IlpProblem(
+            [
+                Constraint.eq(var("x") * 2 - var("y"), 0),
+                Constraint.eq(var("y"), 1),
+            ]
+        )
+        batched = p.batch_minimize([var("x"), var("x") * -1], integer=False)
+        assert batched[0].value == Fraction(1, 2)
+        assert -batched[1].value == Fraction(1, 2)

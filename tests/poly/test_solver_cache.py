@@ -9,6 +9,7 @@ from repro.poly.cache import (
     FM_CACHE,
     ILP_CACHE,
     clear_solver_caches,
+    reset_solver_cache_stats,
     solver_cache_stats,
 )
 from repro.poly.fm import project_onto
@@ -76,6 +77,22 @@ class TestIlpCache:
         for row in stats.values():
             assert {"hits", "misses", "entries", "hit_rate"} <= set(row)
 
+    def test_reset_stats_keeps_entries(self):
+        """reset_solver_cache_stats zeroes counters without dropping the
+        memo: subsequent identical solves still hit."""
+        obj = var("i") + var("j")
+        _box_problem().minimize(obj)
+        _box_problem().minimize(obj)
+        assert ILP_CACHE.hits == 1 and ILP_CACHE.misses == 1
+        entries = len(ILP_CACHE)
+        reset_solver_cache_stats()
+        assert ILP_CACHE.hits == 0 and ILP_CACHE.misses == 0
+        assert len(ILP_CACHE) == entries
+        _box_problem().minimize(obj)
+        assert ILP_CACHE.hits == 1 and ILP_CACHE.misses == 0
+        stats = solver_cache_stats()
+        assert stats["ilp"]["hits"] == 1
+
 
 class TestFmCache:
     def test_repeat_projection_hits_cache(self):
@@ -123,7 +140,12 @@ class TestCacheBehaviour:
         assert cache.lookup(4) == 4
 
     def test_cache_equivalence_on_pipeline(self):
-        """Cached and uncached compilation produce byte-identical programs."""
+        """Cached and uncached compilation produce byte-identical programs.
+
+        The persistent disk cache is off here: this test isolates the
+        in-process solver memoization (a disk hit would skip the solvers
+        entirely and prove nothing about them)."""
+        from repro.core import diskcache
         from repro.core.compiler import AkgOptions, build
         from repro.ir import ops
         from repro.ir.tensor import placeholder
@@ -134,13 +156,14 @@ class TestCacheBehaviour:
             return ops.relu(x, name="out")
 
         opts = AkgOptions(tile_sizes=[8, 32])
-        set_solver_cache_enabled(False)
-        try:
-            cold = build(kernel(), "k", options=opts)
-        finally:
-            set_solver_cache_enabled(True)
-        clear_solver_caches()
-        warm1 = build(kernel(), "k", options=opts)
-        warm2 = build(kernel(), "k", options=opts)
+        with diskcache.disabled():
+            set_solver_cache_enabled(False)
+            try:
+                cold = build(kernel(), "k", options=opts)
+            finally:
+                set_solver_cache_enabled(True)
+            clear_solver_caches()
+            warm1 = build(kernel(), "k", options=opts)
+            warm2 = build(kernel(), "k", options=opts)
         assert ILP_CACHE.hits > 0
         assert cold.program.dump() == warm1.program.dump() == warm2.program.dump()

@@ -4,7 +4,14 @@ import pytest
 
 from repro.ir import lower, ops
 from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
-from repro.sched.deps import compute_dependences, producer_consumer_pairs
+from repro.poly.affine import AffineExpr
+from repro.sched.deps import (
+    _dependence_relations,
+    compute_dependences,
+    dependence_prune_stats,
+    producer_consumer_pairs,
+    reset_dependence_prune_stats,
+)
 
 
 def dep_index(deps):
@@ -118,3 +125,234 @@ class TestFlowDeps:
         assert len(deps) >= 4
         assert {d.kind for d in deps} >= {"flow", "output"}
         assert all(d.tensor_name in ("A", "B", "C") for d in deps)
+
+
+class TestIsUniform:
+    def test_pointwise_is_uniform(self):
+        a = placeholder((8,), name="A")
+        b = compute((8,), lambda i: a[i] + 1, name="B")
+        c = compute((8,), lambda i: b[i] * 2, name="C")
+        deps = compute_dependences(lower(c))
+        flow = [d for d in deps if d.kind == "flow"][0]
+        assert flow.is_uniform
+        assert flow.distance_vector() == [0]
+
+    def test_shifted_is_uniform(self):
+        a = placeholder((10,), name="A")
+        b = compute((10,), lambda i: a[i] + 1, name="B")
+        c = compute((7,), lambda i: b[i + 3] * 2, name="C")
+        deps = compute_dependences(lower(c))
+        flow = [d for d in deps if d.kind == "flow"][0]
+        assert flow.is_uniform
+        assert flow.distance_vector() == [-3]
+
+    def test_stencil_is_not_uniform_but_vector_is_truthy(self):
+        """The bug ``is_uniform`` exists to fix: a stencil dependence's
+        distance vector may be a (truthy) list holding ``None`` entries."""
+        a = placeholder((10,), name="A")
+        b = compute((10,), lambda i: a[i] * 2, name="B")
+        k = reduce_axis((0, 3), "k")
+        c = compute((8,), lambda i: te_sum(b[i + k], axis=k), name="C")
+        deps = compute_dependences(lower(c))
+        dep = [
+            d
+            for d in deps
+            if d.kind == "flow" and d.src.stmt_id == "S0" and not d.is_self
+            and d.dst.kind == "reduce"
+        ][0]
+        vec = dep.distance_vector()
+        if vec is not None:
+            assert bool(vec)  # truthy despite non-constant entries...
+            assert any(entry is None for entry in vec)
+        assert not dep.is_uniform  # ...so this is the test to use
+
+    def test_rank_mismatch_is_not_uniform(self):
+        a = placeholder((4, 6), name="A")
+        k = reduce_axis((0, 6), "k")
+        c = compute((4,), lambda i: te_sum(a[i, k], axis=k), name="C")
+        deps = compute_dependences(lower(c))
+        cross_rank = [
+            d
+            for d in deps
+            if not d.is_self
+            and len(d.src.iter_names) != len(d.dst.iter_names)
+        ]
+        assert cross_rank
+        for d in cross_rank:
+            assert d.distance_vector() is None
+            assert not d.is_uniform
+
+    def test_reduction_self_flow_not_uniform(self):
+        """Self dependences of a reduction update carry a *range* of
+        distances (k' - k >= 1), so ``is_uniform`` must be False even
+        though ``distance_vector()`` returns a list."""
+        a = placeholder((4, 6), name="A")
+        k = reduce_axis((0, 6), "k")
+        c = compute((4,), lambda i: te_sum(a[i, k], axis=k), name="C")
+        deps = compute_dependences(lower(c))
+        self_flow = [d for d in deps if d.is_self and d.kind == "flow"]
+        assert self_flow
+        for d in self_flow:
+            assert not d.is_uniform
+            vec = d.distance_vector()
+            assert vec is not None and any(e is None for e in vec)
+
+
+class TestSelfDependences:
+    def test_self_deps_have_all_three_kinds(self):
+        a = placeholder((4, 6), name="A")
+        k = reduce_axis((0, 6), "k")
+        c = compute((4,), lambda i: te_sum(a[i, k], axis=k), name="C")
+        deps = compute_dependences(lower(c))
+        self_kinds = {d.kind for d in deps if d.is_self}
+        assert self_kinds == {"flow", "anti", "output"}
+
+    def test_self_dep_relations_are_lex_forward(self):
+        """Every self-dependence relation is a union member fixing an
+        equal prefix and advancing one level: constant entries before the
+        first varying dim are 0, and some relation fixes a full prefix."""
+        a = placeholder((4, 5), name="A")
+        b = placeholder((5, 3), name="B")
+        deps = compute_dependences(lower(ops.matmul(a, b, name="C")))
+        self_vecs = [
+            d.distance_vector()
+            for d in deps
+            if d.is_self and d.distance_vector() is not None
+        ]
+        assert self_vecs
+        for vec in self_vecs:
+            for entry in vec:
+                if entry is None:
+                    break  # the advancing level: a range, not a constant
+                assert entry == 0  # equal-prefix dims
+        # Deeper levels exist: some relation pins the two data dims.
+        assert any(vec[:2] == [0, 0] for vec in self_vecs)
+
+    def test_elementwise_has_no_self_deps(self):
+        a = placeholder((8, 8), name="A")
+        deps = compute_dependences(lower(ops.relu(a, name="R")))
+        assert not any(d.is_self for d in deps)
+
+
+class TestBoundingBoxPruning:
+    def _chain(self):
+        a = placeholder((8,), name="A")
+        b = compute((8,), lambda i: a[i] + 1, name="B")
+        c = compute((8,), lambda i: b[i] * 2, name="C")
+        return lower(c)
+
+    def test_disjoint_footprints_pruned_and_exactly_empty(self):
+        """A consumer reading a region the producer never writes: the
+        interval hulls are disjoint, the pruned path rejects the pair
+        without ILP, and the exact path agrees it is empty."""
+        from repro.ir.lower import TensorAccess
+
+        kernel = self._chain()
+        src, dst = kernel.statements
+        # src writes B[i] with i in [0, 7]; fabricate a read of B[j + 100]
+        # (hull [100, 107]) from dst's domain.
+        shifted = TensorAccess(
+            src.tensor,
+            [AffineExpr.variable(dst.iter_names[0]) + 100],
+        )
+        reset_dependence_prune_stats()
+        pruned_rels, _ = _dependence_relations(
+            src, dst, src.write, shifted, prune=True
+        )
+        stats = dependence_prune_stats()
+        assert pruned_rels == []
+        assert stats["pairs_checked"] == 1
+        assert stats["pairs_pruned"] == 1
+        exact_rels, _ = _dependence_relations(
+            src, dst, src.write, shifted, prune=False
+        )
+        assert exact_rels == []
+
+    def test_overlapping_footprints_not_pruned(self):
+        kernel = self._chain()
+        src, dst = kernel.statements
+        read = dst.reads[0]
+        reset_dependence_prune_stats()
+        rels, _ = _dependence_relations(src, dst, src.write, read, prune=True)
+        stats = dependence_prune_stats()
+        assert len(rels) == 1
+        assert stats["pairs_checked"] == 1
+        assert stats["pairs_pruned"] == 0
+
+    def test_prune_counters_only_tick_when_enabled(self):
+        kernel = self._chain()
+        reset_dependence_prune_stats()
+        compute_dependences(kernel, prune=False)
+        assert dependence_prune_stats()["pairs_checked"] == 0
+        compute_dependences(kernel, prune=True)
+        assert dependence_prune_stats()["pairs_checked"] > 0
+
+    @staticmethod
+    def _example_kernels():
+        def chain():
+            a = placeholder((12, 9), name="A")
+            return ops.relu(ops.scalar_add(a, 1.0, name="B"), name="C")
+
+        def matmul():
+            a = placeholder((6, 7), name="A")
+            b = placeholder((7, 5), name="B")
+            return ops.matmul(a, b, name="MM")
+
+        def conv2d():
+            d = placeholder((1, 2, 7, 7), name="D")
+            w = placeholder((2, 2, 3, 3), name="W")
+            return ops.conv2d(d, w, stride=(1, 1), padding=(1, 1), name="CV")
+
+        def stencil():
+            a = placeholder((14, 14), name="A")
+            a1 = ops.scalar_add(a, 1.0, name="A1")
+            b = placeholder((3, 3), name="B")
+            kh = reduce_axis((0, 3), "kh")
+            kw = reduce_axis((0, 3), "kw")
+            return compute(
+                (12, 12),
+                lambda h, w: te_sum(
+                    a1[h + kh, w + kw] * b[kh, kw], axis=(kh, kw)
+                ),
+                name="C",
+            )
+
+        def softmax():
+            x = placeholder((5, 11), name="X")
+            return ops.softmax_last_axis(x, name="SM")
+
+        def reduction():
+            x = placeholder((6, 20), name="X")
+            k = reduce_axis((0, 20), "k")
+            return compute((6,), lambda i: te_sum(x[i, k], axis=k), name="S")
+
+        return {
+            "chain": chain,
+            "matmul": matmul,
+            "conv2d": conv2d,
+            "stencil": stencil,
+            "softmax": softmax,
+            "reduction": reduction,
+        }
+
+    @pytest.mark.parametrize("name", sorted(_example_kernels.__func__()))
+    def test_pruned_equals_unpruned_on_example_kernels(self, name):
+        """The acceptance regression: pruning never changes the computed
+        dependence set — same edges, same kinds, same exact relations."""
+        kernel = lower(self._example_kernels()[name]())
+        pruned = compute_dependences(kernel, prune=True)
+        exact = compute_dependences(kernel, prune=False)
+
+        def canon(deps):
+            return [
+                (
+                    d.src.stmt_id,
+                    d.dst.stmt_id,
+                    d.kind,
+                    d.tensor_name,
+                    tuple(d.relation.constraints),
+                )
+                for d in deps
+            ]
+
+        assert canon(pruned) == canon(exact)

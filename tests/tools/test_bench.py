@@ -105,3 +105,41 @@ class TestBenchCli:
             for k in ("matmul", "conv2d")
         ]
         assert max(cube_speedups) >= 5.0
+
+
+class TestDiskcacheBench:
+    def test_build_child_round_trip(self, tmp_path):
+        """Two in-process child runs against one cache dir: the second is
+        a hit and the program dump is byte-identical."""
+        import repro.tools.bench as bench
+
+        payload = ("matmul", True, str(tmp_path / "c"), False)
+        cold = bench._diskcache_build_child(payload)
+        warm = bench._diskcache_build_child(payload)
+        assert warm["dump_sha"] == cold["dump_sha"]
+        assert warm["tile_sizes"] == cold["tile_sizes"]
+        assert warm["cycles"] == cold["cycles"]
+        assert warm["disk"]["hits"] > 0
+
+    def test_build_child_disabled_matches(self, tmp_path):
+        import repro.tools.bench as bench
+
+        cached = bench._diskcache_build_child(
+            ("matmul", True, str(tmp_path / "c"), False)
+        )
+        plain = bench._diskcache_build_child(("matmul", True, None, True))
+        assert plain["dump_sha"] == cached["dump_sha"]
+        assert not plain["disk"]["enabled"]
+
+    @pytest.mark.slow
+    def test_diskcache_suite_speedup(self):
+        """Acceptance criterion: warm-process rebuild ≥5x faster than
+        cold, byte-identical dumps, identical tuner best sizes."""
+        import repro.tools.bench as bench
+
+        report = bench.run_diskcache_suite(quick=True, kernels=("matmul",))
+        row = report["kernels"]["matmul"]
+        assert row["dumps_identical"] is True
+        assert row["tuner_agree"] is True
+        assert row["warm_hit"] is True
+        assert row["speedup_warm_vs_cold"] >= 5.0
