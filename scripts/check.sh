@@ -17,6 +17,16 @@ python -m repro.tools.bench --quick --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
 
 echo
+echo "== execution-engine equivalence (scalar vs vectorized) =="
+python -m pytest tests/runtime/test_vectorized.py \
+    tests/codegen/test_exec_vectorized.py -q
+
+echo
+echo "== bench smoke (quick exec suite) =="
+python -m repro.tools.bench --exec --quick --out /tmp/bench_exec_smoke.json
+rm -f /tmp/bench_exec_smoke.json
+
+echo
 echo "== disk-cache round trip (cold akgc, then warm) =="
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT

@@ -15,6 +15,24 @@ Two semantic details mirror the paper:
   instance only once, reflecting the reverse strategy's "absence of
   redundant computation" guarantee [70].
 
+Replay runs on two engines with bit-identical results:
+
+- ``engine="scalar"``: per-point interpretation, membership via
+  ``wrapped.contains`` -- the oracle semantics, kept verbatim;
+- ``engine="vectorized"`` (and ``"auto"``, the default): per tile, the
+  statement's instance box is evaluated as whole numpy arrays
+  (:mod:`repro.runtime.vectorized`); membership filtering becomes a
+  vectorized integer test of the wrapped relation's constraints over the
+  box grid, and the fused-producer dedup sets become per-producer boolean
+  "executed" masks -- same no-redundant-recompute semantics, array-rate
+  speed.  Statements the vectorizer cannot classify (and tiles whose
+  guarded reads escape their ``Select``) fall back to the scalar path.
+
+For both engines the per-statement instance box is *parametric*: affine
+bounds in the tile coordinates are derived once per statement
+(:class:`_ParametricBox`), then evaluated per tile -- the old code
+re-ran constraint insertion plus an ILP bounding box for every tile.
+
 The hierarchy of physical buffers is deliberately abstracted: promotion is
 semantics-preserving by construction, so replay against the global arrays
 validates exactly the properties that can go wrong (order and coverage).
@@ -23,14 +41,22 @@ validates exactly the properties that can go wrong (order and coverage).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+import math
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.fusion.posttile import TiledGroup
 from repro.hw.isa import Program
-from repro.ir.lower import LoweredKernel
-from repro.runtime.reference import numpy_dtype, run_instance
+from repro.ir.lower import LoweredKernel, PolyStatement
+from repro.runtime import vectorized
+from repro.runtime.reference import (
+    ENGINES,
+    allocate_outputs,
+    bind_inputs,
+    run_instance,
+)
 
 
 class TraceMissingError(RuntimeError):
@@ -38,9 +64,13 @@ class TraceMissingError(RuntimeError):
 
 
 def execute_program(
-    program: Program, inputs: Mapping[str, np.ndarray]
+    program: Program,
+    inputs: Mapping[str, np.ndarray],
+    engine: str = "auto",
 ) -> Dict[str, np.ndarray]:
     """Replay a compiled program; returns the kernel outputs by name."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if not program.trace:
         raise TraceMissingError(
             f"program {program.name!r} has no execution trace; compile with "
@@ -49,71 +79,205 @@ def execute_program(
     kernel: LoweredKernel = program.trace["kernel"]
     groups: Sequence[TiledGroup] = program.trace["groups"]
 
-    buffers: Dict[str, np.ndarray] = {}
-    for t in kernel.inputs:
-        if t.name not in inputs:
-            raise KeyError(f"missing input tensor {t.name!r}")
-        arr = np.asarray(inputs[t.name], dtype=numpy_dtype(t.dtype))
-        if arr.shape != t.shape:
-            raise ValueError(
-                f"input {t.name!r}: expected {t.shape}, got {arr.shape}"
-            )
-        buffers[t.name] = arr
-    for stmt in kernel.statements:
-        if stmt.tensor.name not in buffers:
-            buffers[stmt.tensor.name] = np.zeros(
-                stmt.tensor.shape, dtype=numpy_dtype(stmt.tensor.dtype)
-            )
+    buffers = bind_inputs(kernel, inputs)
+    allocate_outputs(kernel, buffers)
 
     for group in groups:
-        _run_group(group, buffers)
+        _run_group(group, buffers, engine)
     return {t.name: buffers[t.name] for t in kernel.outputs}
 
 
-def _run_group(group: TiledGroup, buffers: Dict[str, np.ndarray]) -> None:
-    producer_seen: Dict[str, Set[Tuple[int, ...]]] = {
-        sid: set() for sid in group.fused_producer_ids
-    }
-    wrapped = {
-        s.stmt_id: group.instance_relations[s.stmt_id].wrap()
-        for s in group.statements
-    }
+class _ParametricBox:
+    """Per-dim affine bounds of a statement's in-tile instances.
+
+    Derived once from the wrapped instance relation: for each iteration
+    dim, :meth:`~repro.poly.sets.BasicSet.symbolic_bounds` yields lower /
+    upper bound expressions over the tile dims.  ``at`` substitutes a
+    concrete tile and returns the inclusive integer box (or ``None`` when
+    empty).  The rational bounds can be slightly looser than the integer
+    hull the old per-tile ILP computed; exact membership filtering
+    downstream discards the extras, so only enumeration size changes.
+    """
+
+    def __init__(self, wrapped, iter_names, tile_dims, extents):
+        self.dims = []
+        outer = list(tile_dims)
+        for name, extent in zip(iter_names, extents):
+            lowers, uppers = wrapped.symbolic_bounds(name, outer)
+            self.dims.append((lowers, uppers, extent))
+
+    def at(self, tile_env: Mapping[str, int]) -> Optional[List[Tuple[int, int]]]:
+        box: List[Tuple[int, int]] = []
+        for lowers, uppers, extent in self.dims:
+            lo, hi = 0, extent - 1
+            for e in lowers:
+                lo = max(lo, math.ceil(e.evaluate(tile_env)))
+            for e in uppers:
+                hi = min(hi, math.floor(e.evaluate(tile_env)))
+            if lo > hi:
+                return None
+            box.append((lo, hi))
+        return box
+
+
+class _Membership:
+    """Vectorized integer membership test for one wrapped relation.
+
+    Each constraint becomes ``const + sum(c_t * tile_t) + sum(c_k *
+    iter_k) {==,>=} 0`` with integer coefficients (``Constraint``
+    normalises to coprime integers; ``exact`` is False — forcing the
+    per-point ``contains`` oracle — if anything non-integral or
+    out-of-space shows up).
+    """
+
+    def __init__(self, wrapped, tile_dims, iter_names):
+        self.rows = []
+        self.exact = True
+        known = set(tile_dims) | set(iter_names)
+        iter_pos = {n: k for k, n in enumerate(iter_names)}
+        for c in wrapped.constraints:
+            if not c.expr.is_integral() or any(
+                v not in known for v in c.expr.variables()
+            ):
+                self.exact = False
+                return
+            tile_coeffs = tuple(int(c.expr.coeff(d)) for d in tile_dims)
+            iter_terms = tuple(
+                (iter_pos[n], int(c.expr.coeff(n)))
+                for n in iter_names
+                if c.expr.coeff(n) != 0
+            )
+            self.rows.append(
+                (int(c.expr.const), tile_coeffs, iter_terms, c.is_equality)
+            )
+
+    def mask(self, tile: Sequence[int], igrids) -> "Optional[np.ndarray] | bool":
+        """Boolean mask over the box grids (None = all in), False = none."""
+        acc = None
+        for const, tile_coeffs, iter_terms, is_eq in self.rows:
+            base = const
+            for tc, tv in zip(tile_coeffs, tile):
+                base += tc * tv
+            if not iter_terms:
+                if (base != 0) if is_eq else (base < 0):
+                    return False
+                continue
+            val = np.int64(base)
+            for k, c in iter_terms:
+                val = val + c * igrids[k]
+            cond = (val == 0) if is_eq else (val >= 0)
+            acc = cond if acc is None else (acc & cond)
+        return acc
+
+
+class _StmtReplay:
+    """Per-statement replay state within one group."""
+
+    __slots__ = ("stmt", "wrapped", "pbox", "membership", "plan", "executed")
+
+    def __init__(self, stmt, wrapped, pbox, membership, plan, executed):
+        self.stmt = stmt
+        self.wrapped = wrapped
+        self.pbox = pbox
+        self.membership = membership
+        self.plan = plan  # StatementPlan, or None -> scalar path
+        self.executed = executed  # bool dedup mask for fused producers
+
+
+def _run_group(
+    group: TiledGroup, buffers: Dict[str, np.ndarray], engine: str
+) -> None:
+    replays: List[_StmtReplay] = []
+    for stmt in group.statements:
+        rel = group.instance_relations[stmt.stmt_id]
+        wrapped = rel.wrap()
+        pbox = _ParametricBox(
+            wrapped, stmt.iter_names, group.tile_dims, stmt.iter_extents
+        )
+        executed = (
+            np.zeros(tuple(stmt.iter_extents), dtype=bool)
+            if stmt.stmt_id in group.fused_producer_ids
+            else None
+        )
+        plan = None
+        if engine != "scalar":
+            membership = _Membership(wrapped, group.tile_dims, stmt.iter_names)
+            if membership.exact:
+                start = time.perf_counter()
+                try:
+                    plan = vectorized.plan_for(stmt)
+                except vectorized.Unvectorizable as exc:
+                    vectorized.note_scalar_fallback(
+                        exc.reason, time.perf_counter() - start
+                    )
+            else:
+                vectorized.note_scalar_fallback(
+                    "non-integral membership constraints", 0.0
+                )
+        else:
+            membership = None
+        replays.append(
+            _StmtReplay(stmt, wrapped, pbox, membership, plan, executed)
+        )
+
     tile_ranges = [range(c) for c in group.tile_counts]
+    vec_seconds = 0.0
+    vec_stmts = set()
     for tile in itertools.product(*tile_ranges):
         tile_env = dict(zip(group.tile_dims, tile))
-        for stmt in group.statements:
-            rel = group.instance_relations[stmt.stmt_id]
-            box = _tile_instance_box(rel, stmt.iter_names, tile_env)
+        for rep in replays:
+            box = rep.pbox.at(tile_env)
             if box is None:
                 continue
-            member = wrapped[stmt.stmt_id]
-            seen = producer_seen.get(stmt.stmt_id)
-            for point in itertools.product(
-                *[range(lo, hi + 1) for lo, hi in box]
-            ):
-                full = dict(tile_env)
-                full.update(zip(stmt.iter_names, point))
-                if not member.contains(full):
+            if rep.plan is not None:
+                start = time.perf_counter()
+                try:
+                    _run_tile_vectorized(rep, tile, box, buffers)
+                    vec_seconds += time.perf_counter() - start
+                    vec_stmts.add(rep.stmt.stmt_id)
                     continue
-                if seen is not None:
-                    if point in seen:
-                        continue  # no redundant recomputation [70]
-                    seen.add(point)
-                run_instance(stmt, point, buffers)
+                except vectorized.Unvectorizable as exc:
+                    # e.g. a guarded read escaped its Select in this tile;
+                    # nothing was written or recorded as executed yet.
+                    fb_start = time.perf_counter()
+                    _run_tile_scalar(rep, tile_env, box, buffers)
+                    vectorized.note_scalar_fallback(
+                        exc.reason, time.perf_counter() - fb_start
+                    )
+                    continue
+            _run_tile_scalar(rep, tile_env, box, buffers)
+    for _ in vec_stmts:
+        vectorized.note_vectorized(0.0)
+    if vec_seconds:
+        from repro.tools import perf
+
+        perf.add("exec.vectorized", vec_seconds)
 
 
-def _tile_instance_box(rel, iter_names, tile_env):
-    """Bounding box of one statement's instances in one concrete tile."""
-    from repro.poly.affine import AffineExpr, Constraint
+def _run_tile_vectorized(rep, tile, box, buffers) -> None:
+    n = len(box)
+    igrids = []
+    for k, (lo, hi) in enumerate(box):
+        shape = [1] * n
+        shape[k] = hi - lo + 1
+        igrids.append(np.arange(lo, hi + 1, dtype=np.int64).reshape(shape))
+    mask = rep.membership.mask(tile, igrids)
+    if mask is False:
+        return
+    vectorized.run_statement_box(rep.plan, buffers, box, mask, rep.executed)
 
-    cons = [
-        Constraint.eq(AffineExpr.variable(d), v) for d, v in tile_env.items()
-    ]
-    restricted = rel.add_constraints(cons)
-    image = restricted.range()
-    if image.is_empty():
-        return None
-    box = image.bounding_box()
-    if box is None:
-        return None
-    return [box[d] for d in iter_names]
+
+def _run_tile_scalar(rep, tile_env, box, buffers) -> None:
+    stmt = rep.stmt
+    member = rep.wrapped
+    executed = rep.executed
+    for point in itertools.product(*[range(lo, hi + 1) for lo, hi in box]):
+        full = dict(tile_env)
+        full.update(zip(stmt.iter_names, point))
+        if not member.contains(full):
+            continue
+        if executed is not None:
+            if executed[point]:
+                continue  # no redundant recomputation [70]
+            executed[point] = True
+        run_instance(stmt, point, buffers)

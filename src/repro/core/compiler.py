@@ -116,9 +116,15 @@ class CompileResult:
         """Convenience: simulated execution cycles."""
         return self.simulate().total_cycles
 
-    def execute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Functional replay (requires ``emit_trace=True`` at build time)."""
-        return execute_program(self.program, inputs)
+    def execute(
+        self, inputs: Dict[str, np.ndarray], engine: str = "auto"
+    ) -> Dict[str, np.ndarray]:
+        """Functional replay (requires ``emit_trace=True`` at build time).
+
+        ``engine`` selects the replay engine ("auto"/"vectorized"/
+        "scalar"); all produce bit-identical results.
+        """
+        return execute_program(self.program, inputs, engine=engine)
 
     def cce_code(self) -> str:
         """Emit CCE-like C code for the compiled kernel."""

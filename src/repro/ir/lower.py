@@ -131,6 +131,9 @@ class PolyStatement:
 
     def __getstate__(self):
         state = self.__dict__.copy()
+        # Per-process executor caches: keyed by object ids / rebuilt cheaply.
+        state.pop("_iter_var_ids", None)
+        state.pop("_write_plan", None)
         by_id = {id(v): v for v in self._axis_objects()}
         state["var_names"] = [
             (by_id[iv_id], name)
@@ -173,6 +176,43 @@ class PolyStatement:
         for extent in self.iter_extents:
             total *= extent
         return total
+
+    # -- executor plans (cached per process, excluded from pickles) --------
+
+    def iter_var_ids(self) -> List[int]:
+        """``id(IterVar)`` per iteration dim, in ``iter_names`` order.
+
+        This is the scalar interpreter's per-instance environment key list;
+        it depends only on the statement so it is computed once and cached
+        (``run_instance`` used to rebuild the name->id map per instance).
+        """
+        cached = self.__dict__.get("_iter_var_ids")
+        if cached is None:
+            by_name = {name: iv_id for iv_id, name in self.var_names.items()}
+            cached = [by_name[name] for name in self.iter_names]
+            self._iter_var_ids = cached
+        return cached
+
+    def write_index(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """Concrete write coordinates for the instance at ``point``.
+
+        Equivalent to evaluating each write index expression under the
+        ``iter_names -> point`` assignment, but through a cached positional
+        plan (constant + list of ``(point_position, coeff)`` terms) so the
+        hot path does no dict construction.
+        """
+        plan = self.__dict__.get("_write_plan")
+        if plan is None:
+            pos = {name: k for k, name in enumerate(self.iter_names)}
+            plan = []
+            for e in self.write.indices:
+                terms = tuple((pos[n], c) for n, c in e.coeffs.items())
+                plan.append((e.const, terms))
+            self._write_plan = plan
+        return tuple(
+            int(const + sum(c * point[k] for k, c in terms))
+            for const, terms in plan
+        )
 
     def write_map(self) -> BasicMap:
         """Write access relation."""

@@ -1,5 +1,26 @@
-"""Runtime layer: reference (oracle) execution and program interpretation."""
+"""Runtime layer: reference (oracle) execution and program interpretation.
 
-from repro.runtime.reference import evaluate_kernel, evaluate_tensors, numpy_dtype
+Two engines share one semantics: the scalar interpreter
+(:mod:`repro.runtime.reference`) and the whole-array numpy engine
+(:mod:`repro.runtime.vectorized`).  ``evaluate_kernel(..., engine=...)``
+selects between them; results are bit-identical.
+"""
 
-__all__ = ["evaluate_kernel", "evaluate_tensors", "numpy_dtype"]
+from repro.runtime.reference import (
+    ENGINES,
+    bind_inputs,
+    evaluate_kernel,
+    evaluate_tensors,
+    numpy_dtype,
+)
+from repro.runtime.vectorized import exec_stats, reset_exec_stats
+
+__all__ = [
+    "ENGINES",
+    "bind_inputs",
+    "evaluate_kernel",
+    "evaluate_tensors",
+    "numpy_dtype",
+    "exec_stats",
+    "reset_exec_stats",
+]

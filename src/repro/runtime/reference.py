@@ -1,19 +1,29 @@
 """Reference execution of lowered kernels (the correctness oracle).
 
 ``evaluate_kernel`` runs the :class:`~repro.ir.lower.PolyStatement` list of
-a lowered kernel directly, statement by statement, instance by instance --
-the simplest possible semantics.  Every compiler path in this repository
-(AKG, the TVM-like baseline, the CCE baselines) must produce results that
-match this oracle; integration tests enforce it.
+a lowered kernel, statement by statement.  Two engines implement the same
+semantics:
 
-Python-level loops bound the usable shapes (tests use small tensors); the
-benchmark harness never needs numerics, only simulated cycles.
+- ``engine="scalar"`` walks the expression tree once per statement
+  instance -- the simplest possible semantics, kept as the oracle;
+- ``engine="vectorized"`` compiles each statement to whole-array numpy
+  operations (:mod:`repro.runtime.vectorized`), falling back to the scalar
+  interpreter for anything it cannot classify;
+- ``engine="auto"`` (the default) picks vectorized execution for
+  statements with enough instances to amortise array setup.
+
+The engines are bit-for-bit identical: scalar arithmetic runs on IEEE
+float64 through the *same numpy implementations* the vectorized engine
+applies to whole arrays (``np.exp`` on a float64 scalar returns exactly
+the element ``np.exp`` produces inside an array), and reductions
+accumulate in the same order with the same per-step cast to the output
+dtype.  Every compiler path in this repository (AKG, the TVM-like
+baseline, the CCE baselines) must produce results that match.
 """
 
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
@@ -35,6 +45,14 @@ from repro.ir.tensor import Tensor
 
 _DTYPES = {"fp16": np.float16, "fp32": np.float32, "int32": np.int32}
 
+ENGINES = ("auto", "scalar", "vectorized")
+
+# Under ``engine="auto"`` statements with fewer instances than this run on
+# the scalar interpreter: per-statement array setup costs more than it
+# saves on tiny domains.  Any threshold is correct (the engines agree
+# bit-for-bit); this one just has to be in the right ballpark.
+AUTO_VECTORIZE_MIN_INSTANCES = 64
+
 
 def numpy_dtype(dtype: str) -> np.dtype:
     """Map an IR dtype string to the numpy dtype used for storage."""
@@ -42,6 +60,80 @@ def numpy_dtype(dtype: str) -> np.dtype:
         return np.dtype(_DTYPES[dtype])
     except KeyError:
         raise ValueError(f"unknown dtype {dtype!r}") from None
+
+
+def bind_inputs(
+    kernel: LoweredKernel, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Validate kernel inputs and seed the buffer map with them."""
+    buffers: Dict[str, np.ndarray] = {}
+    for t in kernel.inputs:
+        if t.name not in inputs:
+            raise KeyError(f"missing input tensor {t.name!r}")
+        arr = np.asarray(inputs[t.name], dtype=numpy_dtype(t.dtype))
+        if arr.shape != t.shape:
+            raise ValueError(
+                f"input {t.name!r}: expected shape {t.shape}, got {arr.shape}"
+            )
+        buffers[t.name] = arr
+    return buffers
+
+
+def allocate_outputs(
+    kernel: LoweredKernel, buffers: Dict[str, np.ndarray]
+) -> None:
+    """Allocate zeroed buffers for every tensor the kernel writes."""
+    for stmt in kernel.statements:
+        if stmt.tensor.name not in buffers:
+            buffers[stmt.tensor.name] = np.zeros(
+                stmt.tensor.shape, dtype=numpy_dtype(stmt.tensor.dtype)
+            )
+
+
+# -- scalar expression evaluation ----------------------------------------------
+#
+# Transcendentals go through numpy's float64 scalar entry points rather
+# than ``math``: numpy's scalar results are bit-identical to the elements
+# its vectorized loops produce (verified on this platform), while
+# ``math.exp``/``math.tanh`` differ from numpy in the last ulp for some
+# inputs.  Using one implementation for both engines is what makes the
+# bit-for-bit equivalence guarantee hold.
+
+_F64 = np.float64
+
+
+_UNARY_FUNCS = {
+    "neg": lambda a: -a,
+    "abs": abs,
+    "exp": lambda a: float(np.exp(_F64(a))),
+    "log": lambda a: float(np.log(_F64(a))),
+    "sqrt": lambda a: float(np.sqrt(_F64(a))),
+    "rsqrt": lambda a: 1.0 / float(np.sqrt(_F64(a))),
+    "relu": lambda a: a if a > 0 else 0.0,
+    "sigmoid": lambda a: 1.0 / (1.0 + float(np.exp(_F64(-a)))),
+    "tanh": lambda a: float(np.tanh(_F64(a))),
+    "floor": lambda a: float(np.floor(_F64(a))),
+    "ceil": lambda a: float(np.ceil(_F64(a))),
+    "not": lambda a: 0.0 if a else 1.0,
+}
+
+_BINARY_FUNCS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "max": lambda a, b: max(a, b),
+    "min": lambda a, b: min(a, b),
+    "pow": lambda a, b: float(np.power(_F64(a), _F64(b))),
+    "eq": lambda a, b: 1.0 if a == b else 0.0,
+    "ne": lambda a, b: 1.0 if a != b else 0.0,
+    "lt": lambda a, b: 1.0 if a < b else 0.0,
+    "le": lambda a, b: 1.0 if a <= b else 0.0,
+    "gt": lambda a, b: 1.0 if a > b else 0.0,
+    "ge": lambda a, b: 1.0 if a >= b else 0.0,
+    "and": lambda a, b: 1.0 if (a and b) else 0.0,
+    "or": lambda a, b: 1.0 if (a or b) else 0.0,
+}
 
 
 def eval_expr(
@@ -84,65 +176,19 @@ def eval_expr(
 
 
 def _eval_unary(op: str, a: float) -> float:
-    if op == "neg":
-        return -a
-    if op == "abs":
-        return abs(a)
-    if op == "exp":
-        return math.exp(a)
-    if op == "log":
-        return math.log(a)
-    if op == "sqrt":
-        return math.sqrt(a)
-    if op == "rsqrt":
-        return 1.0 / math.sqrt(a)
-    if op == "relu":
-        return a if a > 0 else 0.0
-    if op == "sigmoid":
-        return 1.0 / (1.0 + math.exp(-a))
-    if op == "tanh":
-        return math.tanh(a)
-    if op == "floor":
-        return math.floor(a)
-    if op == "ceil":
-        return math.ceil(a)
-    if op == "not":
-        return 0.0 if a else 1.0
-    raise ValueError(f"unknown unary op {op!r}")
+    try:
+        fn = _UNARY_FUNCS[op]
+    except KeyError:
+        raise ValueError(f"unknown unary op {op!r}") from None
+    return fn(a)
 
 
 def _eval_binary(op: str, a: float, b: float) -> float:
-    if op == "add":
-        return a + b
-    if op == "sub":
-        return a - b
-    if op == "mul":
-        return a * b
-    if op == "div":
-        return a / b
-    if op == "max":
-        return max(a, b)
-    if op == "min":
-        return min(a, b)
-    if op == "pow":
-        return a ** b
-    if op == "eq":
-        return 1.0 if a == b else 0.0
-    if op == "ne":
-        return 1.0 if a != b else 0.0
-    if op == "lt":
-        return 1.0 if a < b else 0.0
-    if op == "le":
-        return 1.0 if a <= b else 0.0
-    if op == "gt":
-        return 1.0 if a > b else 0.0
-    if op == "ge":
-        return 1.0 if a >= b else 0.0
-    if op == "and":
-        return 1.0 if (a and b) else 0.0
-    if op == "or":
-        return 1.0 if (a or b) else 0.0
-    raise ValueError(f"unknown binary op {op!r}")
+    try:
+        fn = _BINARY_FUNCS[op]
+    except KeyError:
+        raise ValueError(f"unknown binary op {op!r}") from None
+    return fn(a, b)
 
 
 _REDUCE_COMBINE = {
@@ -159,12 +205,8 @@ def run_instance(
     buffers: Mapping[str, np.ndarray],
 ) -> None:
     """Execute one dynamic instance of a statement at ``point``."""
-    name_to_iv = {name: iv_id for iv_id, name in stmt.var_names.items()}
-    env = {
-        name_to_iv[name]: value for name, value in zip(stmt.iter_names, point)
-    }
-    name_env = dict(zip(stmt.iter_names, point))
-    write_idx = tuple(int(e.evaluate(name_env)) for e in stmt.write.indices)
+    env = dict(zip(stmt.iter_var_ids(), point))
+    write_idx = stmt.write_index(point)
     value = eval_expr(stmt.expr, env, buffers)
     out = buffers[stmt.tensor.name]
     if stmt.kind == "reduce":
@@ -184,34 +226,38 @@ def run_statement(
 
 
 def evaluate_kernel(
-    kernel: LoweredKernel, inputs: Mapping[str, np.ndarray]
+    kernel: LoweredKernel,
+    inputs: Mapping[str, np.ndarray],
+    engine: str = "auto",
 ) -> Dict[str, np.ndarray]:
     """Run a lowered kernel; returns buffers for the kernel outputs.
 
     ``inputs`` maps placeholder names to arrays of matching shape.
+    ``engine`` selects the execution engine: ``"scalar"`` (per-instance
+    interpreter, the oracle), ``"vectorized"`` (whole-array numpy with
+    scalar fallback) or ``"auto"`` (vectorized for statements large
+    enough to amortise setup).  All three produce bit-identical results.
     """
-    buffers: Dict[str, np.ndarray] = {}
-    for t in kernel.inputs:
-        if t.name not in inputs:
-            raise KeyError(f"missing input tensor {t.name!r}")
-        arr = np.asarray(inputs[t.name], dtype=numpy_dtype(t.dtype))
-        if arr.shape != t.shape:
-            raise ValueError(
-                f"input {t.name!r}: expected shape {t.shape}, got {arr.shape}"
-            )
-        buffers[t.name] = arr
-    for stmt in kernel.statements:
-        if stmt.tensor.name not in buffers:
-            buffers[stmt.tensor.name] = np.zeros(
-                stmt.tensor.shape, dtype=numpy_dtype(stmt.tensor.dtype)
-            )
-        run_statement(stmt, buffers)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    buffers = bind_inputs(kernel, inputs)
+    allocate_outputs(kernel, buffers)
+    if engine == "scalar":
+        for stmt in kernel.statements:
+            run_statement(stmt, buffers)
+    else:
+        from repro.runtime import vectorized
+
+        for stmt in kernel.statements:
+            vectorized.run_statement(stmt, buffers, engine=engine)
     return {t.name: buffers[t.name] for t in kernel.outputs}
 
 
 def evaluate_tensors(
-    outputs: Sequence[Tensor] | Tensor, inputs: Mapping[str, np.ndarray]
+    outputs: Sequence[Tensor] | Tensor,
+    inputs: Mapping[str, np.ndarray],
+    engine: str = "auto",
 ) -> Dict[str, np.ndarray]:
     """Convenience: lower then evaluate in one call."""
     kernel = lower(outputs)
-    return evaluate_kernel(kernel, inputs)
+    return evaluate_kernel(kernel, inputs, engine=engine)

@@ -1,0 +1,636 @@
+"""Vectorized numpy execution of polyhedral statements.
+
+The scalar oracle (:mod:`repro.runtime.reference`) walks the expression
+tree once per statement *instance*; interpreter overhead caps usable
+shapes at toy sizes.  This module compiles each
+:class:`~repro.ir.lower.PolyStatement` into whole-array numpy operations
+over the statement's rectangular instance box, the way real polyhedral
+code generators emit bulk tensor operations over affine regions.
+
+Classification, per statement (cached on the statement object):
+
+- the write must be the identity map over the data dims covering the
+  output tensor (what ``lower()`` always produces);
+- every read index must be affine in the statement's own iterators with
+  integral coefficients -- each becomes either a basic/strided slice
+  (when the per-tensor-axis indices use distinct single iterators and are
+  provably in-bounds) or a broadcast integer gather;
+- ``Select`` evaluates both branches on arrays, but reads inside a
+  branch are *guarded*: indices are clipped into bounds and the lanes
+  that were clipped carry an out-of-bounds mask.  ``np.where`` merges
+  values and masks along the chosen branch; if any OOB lane survives to
+  the top of the statement the vectorized run aborts and the scalar
+  interpreter (whose lazy ``Select`` never touches the memory) takes
+  over.  Guarded padding reads therefore provably never *use* memory the
+  scalar path would not have read;
+- reductions vectorize over the data dims and step *sequentially* over
+  the flattened reduction axes in row-major order -- the exact scalar
+  instance order -- re-casting the accumulator to the output dtype after
+  every step, which is what makes fp16/fp32/int32 results bit-identical
+  to the oracle.  ``max``/``min`` additionally use a one-shot
+  ``np.fmax.reduce`` fast path (exact: round-to-nearest is monotone and
+  NaN never enters a Python ``max`` accumulator).
+
+Anything unclassifiable -- data-dependent indexing, non-identity writes,
+foreign iterators, unknown ops -- falls back to the scalar interpreter,
+so correctness never regresses.  Fallbacks are counted
+(:func:`exec_stats`) and timed (``exec.*`` perf stages).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.ir.expr import (
+    BinaryOp,
+    Cast,
+    Expr,
+    FloatImm,
+    IntImm,
+    IterVar,
+    Reduce,
+    Select,
+    TensorRef,
+    UnaryOp,
+)
+from repro.ir.lower import PolyStatement, expr_to_affine
+from repro.poly.affine import AffineExpr
+from repro.runtime import reference
+from repro.runtime.reference import AUTO_VECTORIZE_MIN_INSTANCES, numpy_dtype
+from repro.tools import perf
+
+__all__ = [
+    "Unvectorizable",
+    "StatementPlan",
+    "plan_for",
+    "run_statement",
+    "run_statement_box",
+    "exec_stats",
+    "reset_exec_stats",
+]
+
+
+class Unvectorizable(Exception):
+    """The statement (or one dynamic execution of it) cannot vectorize."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# -- statistics ----------------------------------------------------------------
+
+_STATS = {"vectorized": 0, "scalar_fallback": 0, "scalar_small": 0}
+_FALLBACK_REASONS: Dict[str, int] = {}
+
+
+def reset_exec_stats() -> None:
+    """Zero the engine counters (tests and benchmarks)."""
+    for key in _STATS:
+        _STATS[key] = 0
+    _FALLBACK_REASONS.clear()
+
+
+def exec_stats() -> Dict[str, object]:
+    """Snapshot of per-engine statement counts and fallback reasons."""
+    snap: Dict[str, object] = dict(_STATS)
+    snap["fallback_reasons"] = dict(_FALLBACK_REASONS)
+    return snap
+
+
+def _note_fallback(reason: str) -> None:
+    _STATS["scalar_fallback"] += 1
+    _FALLBACK_REASONS[reason] = _FALLBACK_REASONS.get(reason, 0) + 1
+
+
+def note_vectorized(seconds: float) -> None:
+    """Credit one vectorized statement execution (used by replay too)."""
+    _STATS["vectorized"] += 1
+    perf.add("exec.vectorized", seconds)
+
+
+def note_scalar_fallback(reason: str, seconds: float) -> None:
+    """Credit one scalar-fallback statement execution."""
+    _note_fallback(reason)
+    perf.add("exec.scalar_fallback", seconds)
+
+
+# -- vector op tables ----------------------------------------------------------
+#
+# Each entry maps float64 arrays to a float64 array with *exactly* the
+# semantics of the scalar dispatch in reference.py (which routes
+# transcendentals through the same numpy implementations).
+
+_V_UNARY = {
+    "neg": lambda a: -a,
+    "abs": np.abs,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "rsqrt": lambda a: 1.0 / np.sqrt(a),
+    "relu": lambda a: np.where(a > 0, a, 0.0),
+    "sigmoid": lambda a: 1.0 / (1.0 + np.exp(-a)),
+    "tanh": np.tanh,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "not": lambda a: np.where(a != 0, 0.0, 1.0),
+}
+
+_V_BINARY = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    # Python's max(a, b) is "b if a < b else a": ties and NaN-in-a keep a,
+    # NaN-in-b returns b.  np.where(b > a, b, a) reproduces that exactly;
+    # np.maximum would propagate NaN from either side.
+    "max": lambda a, b: np.where(b > a, b, a),
+    "min": lambda a, b: np.where(b < a, b, a),
+    "pow": np.power,
+    "eq": lambda a, b: (a == b).astype(np.float64),
+    "ne": lambda a, b: (a != b).astype(np.float64),
+    "lt": lambda a, b: (a < b).astype(np.float64),
+    "le": lambda a, b: (a <= b).astype(np.float64),
+    "gt": lambda a, b: (a > b).astype(np.float64),
+    "ge": lambda a, b: (a >= b).astype(np.float64),
+    "and": lambda a, b: ((a != 0) & (b != 0)).astype(np.float64),
+    "or": lambda a, b: ((a != 0) | (b != 0)).astype(np.float64),
+}
+
+
+# -- classification ------------------------------------------------------------
+
+
+class _RefPlan:
+    """Positional affine index plan for one ``TensorRef``.
+
+    ``index_terms`` holds, per tensor axis, ``(const, ((grid_axis, coeff),
+    ...))`` with integer values -- enough to build slices, bound intervals
+    and gather index arrays without touching the expression tree again.
+    """
+
+    __slots__ = ("tensor_name", "shape", "index_terms")
+
+    def __init__(self, tensor_name, shape, index_terms):
+        self.tensor_name = tensor_name
+        self.shape = shape
+        self.index_terms = index_terms
+
+
+class StatementPlan:
+    """Everything the array evaluator needs, derived once per statement."""
+
+    __slots__ = ("stmt", "n_axes", "ref_plans", "axis_of", "out_dtype")
+
+    def __init__(self, stmt, n_axes, ref_plans, axis_of, out_dtype):
+        self.stmt = stmt
+        self.n_axes = n_axes
+        self.ref_plans = ref_plans  # id(TensorRef) -> _RefPlan
+        self.axis_of = axis_of  # id(IterVar) -> grid axis
+        self.out_dtype = out_dtype
+
+
+_PLANS: "WeakKeyDictionary[PolyStatement, object]" = WeakKeyDictionary()
+
+
+def plan_for(stmt: PolyStatement) -> StatementPlan:
+    """Classify ``stmt`` (cached); raises :class:`Unvectorizable`."""
+    cached = _PLANS.get(stmt)
+    if isinstance(cached, StatementPlan):
+        return cached
+    if isinstance(cached, Unvectorizable):
+        raise cached
+    try:
+        plan = _classify(stmt)
+    except Unvectorizable as exc:
+        _PLANS[stmt] = exc
+        raise
+    _PLANS[stmt] = plan
+    return plan
+
+
+def _classify(stmt: PolyStatement) -> StatementPlan:
+    data_names = stmt.iter_names[: stmt.data_rank]
+    indices = stmt.write.indices
+    if indices is None or len(indices) != len(data_names):
+        raise Unvectorizable("non-identity write")
+    for e, name in zip(indices, data_names):
+        if e != AffineExpr.variable(name):
+            raise Unvectorizable("non-identity write")
+    if tuple(stmt.iter_extents[: stmt.data_rank]) != tuple(stmt.tensor.shape):
+        raise Unvectorizable("write does not cover the output tensor")
+
+    if stmt.kind == "reduce" and (stmt.reduce_op or "sum") not in (
+        "sum",
+        "prod",
+        "max",
+        "min",
+    ):
+        raise Unvectorizable(f"unknown reduce op {stmt.reduce_op!r}")
+
+    pos = {name: k for k, name in enumerate(stmt.iter_names)}
+    ref_plans: Dict[int, _RefPlan] = {}
+    axis_of: Dict[int, int] = {}
+    for node in _walk_value(stmt.expr):
+        if isinstance(node, (IntImm, FloatImm, Select, Cast)):
+            continue
+        if isinstance(node, IterVar):
+            name = stmt.var_names.get(id(node))
+            if name is None or name not in pos:
+                raise Unvectorizable("foreign iterator")
+            axis_of[id(node)] = pos[name]
+        elif isinstance(node, TensorRef):
+            ref_plans[id(node)] = _plan_ref(node, stmt, pos)
+        elif isinstance(node, UnaryOp):
+            if node.op not in _V_UNARY:
+                raise Unvectorizable(f"unknown unary op {node.op!r}")
+        elif isinstance(node, BinaryOp):
+            if node.op not in _V_BINARY:
+                raise Unvectorizable(f"unknown binary op {node.op!r}")
+        elif isinstance(node, Reduce):
+            raise Unvectorizable("unlowered reduce")
+        else:
+            raise Unvectorizable(f"unsupported node {type(node).__name__}")
+    return StatementPlan(
+        stmt,
+        len(stmt.iter_names),
+        ref_plans,
+        axis_of,
+        numpy_dtype(stmt.tensor.dtype),
+    )
+
+
+def _walk_value(expr: Expr):
+    """Preorder walk of the value expression (not inside TensorRef indices:
+    those are handled symbolically by ``_plan_ref``)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, TensorRef):
+            continue
+        stack.extend(getattr(node, "children", lambda: ())())
+
+
+def _plan_ref(ref: TensorRef, stmt: PolyStatement, pos) -> _RefPlan:
+    index_terms = []
+    for idx in ref.indices:
+        aff = expr_to_affine(idx, stmt.var_names)
+        if aff is None:
+            raise Unvectorizable("data-dependent indexing")
+        if not aff.is_integral():
+            raise Unvectorizable("non-integral index coefficients")
+        terms = []
+        for name, c in aff.coeffs.items():
+            if name not in pos:
+                raise Unvectorizable("foreign index dimension")
+            terms.append((pos[name], int(c)))
+        terms.sort()
+        index_terms.append((int(aff.const), tuple(terms)))
+    return _RefPlan(ref.tensor.name, tuple(ref.tensor.shape), tuple(index_terms))
+
+
+# -- array evaluation ----------------------------------------------------------
+
+
+class _Ctx:
+    """Evaluation context: one rectangular instance box.
+
+    ``igrids[k]``/``fgrids[k]`` are int64/float64 arange arrays for grid
+    axis ``k``, shaped ``(1, ..., extent_k, ..., 1)`` so plain numpy
+    broadcasting assembles full-grid values lazily.  ``guarded`` is set
+    while evaluating inside a ``Select`` branch.
+    """
+
+    __slots__ = ("plan", "buffers", "ranges", "igrids", "fgrids", "guarded")
+
+    def __init__(self, plan, buffers, ranges):
+        self.plan = plan
+        self.buffers = buffers
+        self.ranges = ranges  # per grid axis: inclusive (lo, hi)
+        n = plan.n_axes
+        self.igrids = []
+        self.fgrids = []
+        for k, (lo, hi) in enumerate(ranges):
+            shape = [1] * n
+            shape[k] = hi - lo + 1
+            g = np.arange(lo, hi + 1, dtype=np.int64).reshape(shape)
+            self.igrids.append(g)
+            self.fgrids.append(g.astype(np.float64))
+        self.guarded = False
+
+
+def _merge_oob(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _eval(expr: Expr, ctx: _Ctx):
+    """Evaluate to ``(float64 array-or-scalar, oob mask-or-None)``."""
+    if isinstance(expr, IntImm):
+        return float(expr.value), None
+    if isinstance(expr, FloatImm):
+        return expr.value, None
+    if isinstance(expr, IterVar):
+        return ctx.fgrids[ctx.plan.axis_of[id(expr)]], None
+    if isinstance(expr, TensorRef):
+        return _read(ctx.plan.ref_plans[id(expr)], ctx)
+    if isinstance(expr, Cast):
+        a, oa = _eval(expr.a, ctx)
+        cast = np.asarray(a).astype(numpy_dtype(expr.dtype)).astype(np.float64)
+        return cast, oa
+    if isinstance(expr, Select):
+        cond, oc = _eval(expr.cond, ctx)
+        condb = np.asarray(cond) != 0
+        saved = ctx.guarded
+        ctx.guarded = True
+        try:
+            t, ot = _eval(expr.if_true, ctx)
+            f, of = _eval(expr.if_false, ctx)
+        finally:
+            ctx.guarded = saved
+        value = np.where(condb, t, f)
+        if ot is None and of is None:
+            oob = oc
+        else:
+            oob = np.where(
+                condb,
+                ot if ot is not None else False,
+                of if of is not None else False,
+            )
+            oob = _merge_oob(oob, oc)
+        return value, oob
+    if isinstance(expr, UnaryOp):
+        a, oa = _eval(expr.a, ctx)
+        return _V_UNARY[expr.op](a), oa
+    if isinstance(expr, BinaryOp):
+        a, oa = _eval(expr.a, ctx)
+        b, ob = _eval(expr.b, ctx)
+        return _V_BINARY[expr.op](a, b), _merge_oob(oa, ob)
+    raise Unvectorizable(f"unsupported node {type(expr).__name__}")
+
+
+def _index_interval(const, terms, ranges):
+    """Inclusive value interval of an affine index over the box."""
+    lo = hi = const
+    for axis, c in terms:
+        a0, a1 = ranges[axis]
+        if c > 0:
+            lo += c * a0
+            hi += c * a1
+        else:
+            lo += c * a1
+            hi += c * a0
+    return lo, hi
+
+
+def _read(rp: _RefPlan, ctx: _Ctx):
+    buf = ctx.buffers[rp.tensor_name]
+    in_bounds = True
+    for (const, terms), extent in zip(rp.index_terms, rp.shape):
+        lo, hi = _index_interval(const, terms, ctx.ranges)
+        if lo < 0 or hi >= extent:
+            in_bounds = False
+            break
+    if in_bounds:
+        view = _try_slice(rp, ctx, buf)
+        if view is not None:
+            return view, None
+    # Gather with broadcast integer index arrays.
+    idx = []
+    oob = None
+    for (const, terms), extent in zip(rp.index_terms, rp.shape):
+        if not terms:
+            arr = const
+        else:
+            arr = np.int64(const)
+            for axis, c in terms:
+                arr = arr + c * ctx.igrids[axis]
+        if ctx.guarded:
+            lo, hi = _index_interval(const, terms, ctx.ranges)
+            if lo < 0 or hi >= extent:
+                a = np.asarray(arr)
+                bad = (a < 0) | (a >= extent)
+                oob = _merge_oob(oob, bad)
+                arr = np.clip(a, 0, extent - 1)
+        idx.append(arr)
+    # Unguarded out-of-range indices keep raw numpy semantics (negative
+    # wrap-around, IndexError), exactly like the scalar interpreter's
+    # ``buffers[name][idx]``.
+    gathered = buf[tuple(idx)]
+    return np.asarray(gathered).astype(np.float64), oob
+
+
+def _try_slice(rp: _RefPlan, ctx: _Ctx, buf):
+    """Strided-slice fast path; None when the pattern needs a gather."""
+    slicers = []
+    placement = []  # per tensor axis: grid axis kept, or None for constants
+    used = set()
+    for (const, terms), extent in zip(rp.index_terms, rp.shape):
+        if not terms:
+            slicers.append(slice(const, const + 1))
+            placement.append(None)
+            continue
+        if len(terms) != 1:
+            return None
+        axis, c = terms[0]
+        if axis in used:
+            return None  # e.g. A[i, i]: same iterator twice -> gather
+        used.add(axis)
+        a0, a1 = ctx.ranges[axis]
+        first = const + c * a0
+        last = const + c * a1
+        if c > 0:
+            slicers.append(slice(first, last + 1, c))
+        else:
+            stop = last - 1 if last > 0 else None
+            slicers.append(slice(first, stop, c))
+        placement.append(axis)
+    view = buf[tuple(slicers)]
+    # Transpose kept axes into grid-axis order (constants sort last; they
+    # have length 1 and fold away in the reshape).
+    perm = sorted(
+        range(len(placement)),
+        key=lambda k: (placement[k] is None, placement[k] or 0),
+    )
+    out_shape = [1] * ctx.plan.n_axes
+    for k, axis in enumerate(placement):
+        if axis is not None:
+            out_shape[axis] = view.shape[k]
+    return view.transpose(perm).reshape(out_shape).astype(np.float64)
+
+
+# -- whole-statement execution -------------------------------------------------
+
+
+def _box_shape(ranges) -> Tuple[int, ...]:
+    return tuple(hi - lo + 1 for lo, hi in ranges)
+
+
+def _evaluate_box(plan: StatementPlan, buffers, ranges, mask):
+    """Evaluate the statement's value over the box; raises on OOB lanes."""
+    ctx = _Ctx(plan, buffers, ranges)
+    with np.errstate(all="ignore"):
+        value, oob = _eval(plan.stmt.expr, ctx)
+    if oob is not None:
+        live = oob if mask is None else (oob & mask)
+        if np.any(live):
+            raise Unvectorizable("guarded read escapes its Select guard")
+    return np.broadcast_to(np.asarray(value, dtype=np.float64), _box_shape(ranges))
+
+
+def _reduce_steps(plan: StatementPlan, values, mask, region, k_count):
+    """Sequential reduction over the flattened reduce axes.
+
+    ``values``/``mask`` are shaped ``data_box + (k_count,)``; accumulation
+    re-casts to the output dtype after every step, replicating the scalar
+    ``out[idx] = combine(float(out[idx]), value)`` order bit-for-bit.
+    """
+    op = plan.stmt.reduce_op or "sum"
+    dtype = region.dtype
+    if mask is None and op in ("max", "min") and k_count > 0:
+        # One-shot fast path: iterated round(max(acc, v)) equals
+        # round(max over all v) because round-to-nearest is monotone, and
+        # fmax/fmin ignore NaN exactly like a NaN-free Python max chain.
+        red = np.fmax.reduce if op == "max" else np.fmin.reduce
+        best = red(values, axis=-1)
+        accf = region.astype(np.float64)
+        pick = best > accf if op == "max" else best < accf
+        region[...] = np.where(pick, best, accf)
+        return
+    cur = region.copy()
+    curf = cur.astype(np.float64)
+    for t in range(k_count):
+        step = values[..., t]
+        if op == "sum":
+            newf = curf + step
+        elif op == "prod":
+            newf = curf * step
+        elif op == "max":
+            newf = np.where(step > curf, step, curf)
+        elif op == "min":
+            newf = np.where(step < curf, step, curf)
+        else:
+            raise Unvectorizable(f"unknown reduce op {op!r}")
+        newd = newf.astype(dtype)
+        if mask is None:
+            cur = newd
+        else:
+            cur = np.where(mask[..., t], newd, cur)
+        curf = cur.astype(np.float64)
+    region[...] = cur
+
+
+def run_full(plan: StatementPlan, buffers: Dict[str, np.ndarray]) -> None:
+    """Execute every instance of the planned statement (full domain)."""
+    stmt = plan.stmt
+    extents = stmt.iter_extents
+    if any(e <= 0 for e in extents):
+        return
+    ranges = [(0, e - 1) for e in extents]
+    values = _evaluate_box(plan, buffers, ranges, None)
+    out = buffers[stmt.tensor.name]
+    if stmt.kind != "reduce":
+        out[...] = values
+        return
+    data_shape = tuple(extents[: stmt.data_rank])
+    k_count = 1
+    for e in extents[stmt.data_rank :]:
+        k_count *= e
+    _reduce_steps(
+        plan, values.reshape(data_shape + (k_count,)), None, out, k_count
+    )
+
+
+def run_statement_box(
+    plan: StatementPlan,
+    buffers: Dict[str, np.ndarray],
+    box: Sequence[Tuple[int, int]],
+    mask: Optional[np.ndarray],
+    executed: Optional[np.ndarray],
+) -> None:
+    """Execute the instances of one statement inside ``box``.
+
+    ``box`` gives inclusive per-dim bounds in absolute iteration
+    coordinates.  ``mask`` (broadcastable to the box, or None for all)
+    selects member instances; ``executed`` is the statement's full-domain
+    dedup mask for fused producers -- instances already executed are
+    masked out, newly executed ones are recorded.  This is the replay
+    engine's per-tile entry point.
+    """
+    stmt = plan.stmt
+    shape = _box_shape(box)
+    if any(s <= 0 for s in shape):
+        return
+    box_slices = tuple(slice(lo, hi + 1) for lo, hi in box)
+    eff = None if mask is None else np.broadcast_to(mask, shape)
+    if executed is not None:
+        sub = executed[box_slices]
+        eff = ~sub if eff is None else (eff & ~sub)
+    if eff is not None:
+        if not eff.any():
+            return
+        if eff.all():
+            eff = None
+    values = _evaluate_box(plan, buffers, list(box), eff)
+    # Record executed instances only now: if evaluation aborted to the
+    # scalar fallback, the caller must still see these as un-executed.
+    if executed is not None:
+        if eff is None:
+            executed[box_slices] = True
+        else:
+            executed[box_slices] |= eff
+    out = buffers[stmt.tensor.name]
+    data_slices = box_slices[: stmt.data_rank]
+    region = out[data_slices]
+    if stmt.kind != "reduce":
+        if eff is None:
+            region[...] = values
+        else:
+            # same_kind would reject float64 -> int32; plain ndarray
+            # assignment (the scalar path) uses unsafe casting.
+            np.copyto(region, values, where=eff, casting="unsafe")
+        return
+    data_shape = shape[: stmt.data_rank]
+    k_count = 1
+    for s in shape[stmt.data_rank :]:
+        k_count *= s
+    values = values.reshape(data_shape + (k_count,))
+    mask3 = None if eff is None else eff.reshape(data_shape + (k_count,))
+    _reduce_steps(plan, values, mask3, region, k_count)
+
+
+def run_statement(
+    stmt: PolyStatement,
+    buffers: Dict[str, np.ndarray],
+    engine: str = "vectorized",
+) -> None:
+    """Execute one statement, vectorized with scalar fallback.
+
+    ``engine="auto"`` routes statements below
+    ``AUTO_VECTORIZE_MIN_INSTANCES`` to the scalar interpreter (identical
+    results, less setup overhead).
+    """
+    if engine == "auto" and stmt.instance_count() < AUTO_VECTORIZE_MIN_INSTANCES:
+        start = time.perf_counter()
+        reference.run_statement(stmt, buffers)
+        _STATS["scalar_small"] += 1
+        perf.add("exec.scalar_small", time.perf_counter() - start)
+        return
+    start = time.perf_counter()
+    try:
+        plan = plan_for(stmt)
+        run_full(plan, buffers)
+    except Unvectorizable as exc:
+        fb_start = time.perf_counter()
+        reference.run_statement(stmt, buffers)
+        note_scalar_fallback(exc.reason, time.perf_counter() - fb_start)
+        return
+    note_vectorized(time.perf_counter() - start)

@@ -20,7 +20,14 @@ wall-clock breakdown from :mod:`repro.tools.perf`) and written to
     python -m repro.tools.bench                 # default suite
     python -m repro.tools.bench --quick         # tiny shapes, seconds
     python -m repro.tools.bench --parallel      # pool-measured staged runs
+    python -m repro.tools.bench --exec          # scalar vs vectorized engine
     python -m repro.tools.bench --out my.json
+
+``--exec`` benchmarks *execution* instead of compilation: each kernel
+runs through the scalar oracle and the vectorized numpy engine
+(``BENCH_exec.json``), asserting bit-exact equality and reporting the
+speedup plus scalar-fallback counts; a second section replays compiled
+programs (``execute_program``) on both engines.
 
 JSON layout: ``{"config": ..., "kernels": {name: {legacy_seconds,
 monolithic_cached_seconds, staged_seconds, speedup_vs_legacy, best_sizes,
@@ -204,6 +211,172 @@ def _run_suite_nodisk(
         },
         "kernels": results,
     }
+
+
+# -- the scalar-vs-vectorized execution benchmark ------------------------------
+
+
+def _exec_kernels(quick: bool) -> Dict[str, Callable[[], object]]:
+    """Kernels for the execution benchmark: small and large shapes.
+
+    Shapes are chosen so the large variants are far beyond what the
+    scalar interpreter was usable for (the point of the vectorized
+    engine), while the small variants show the crossover region.
+    """
+    from repro.ir import ops
+    from repro.ir.tensor import placeholder
+
+    def matmul_small():
+        a = placeholder((48, 48), "fp32", name="A")
+        b = placeholder((48, 48), "fp32", name="B")
+        return ops.matmul(a, b, name="out")
+
+    def matmul_256():
+        a = placeholder((256, 256), "fp32", name="A")
+        b = placeholder((256, 256), "fp32", name="B")
+        return ops.matmul(a, b, name="out")
+
+    def conv2d_small():
+        d = placeholder((1, 4, 12, 12), "fp16", name="D")
+        w = placeholder((4, 4, 3, 3), "fp16", name="W")
+        return ops.conv2d(d, w, stride=(1, 1), padding=(1, 1), name="out")
+
+    def conv2d_large():
+        d = placeholder((1, 8, 28, 28), "fp16", name="D")
+        w = placeholder((8, 8, 3, 3), "fp16", name="W")
+        return ops.conv2d(d, w, stride=(1, 1), padding=(1, 1), name="out")
+
+    def fused_elementwise_small():
+        x = placeholder((64, 64), "fp16", name="X")
+        y = placeholder((64, 64), "fp16", name="Y")
+        return ops.relu(ops.add(ops.relu(x, name="r"), y, name="s"), name="out")
+
+    def fused_elementwise_large():
+        x = placeholder((512, 512), "fp16", name="X")
+        y = placeholder((512, 512), "fp16", name="Y")
+        return ops.relu(ops.add(ops.relu(x, name="r"), y, name="s"), name="out")
+
+    kernels = {
+        "matmul_small": matmul_small,
+        "conv2d_small": conv2d_small,
+        "fused_elementwise_small": fused_elementwise_small,
+    }
+    if not quick:
+        kernels.update(
+            {
+                "matmul_256": matmul_256,
+                "conv2d_large": conv2d_large,
+                "fused_elementwise_large": fused_elementwise_large,
+            }
+        )
+    return kernels
+
+
+def _random_inputs(kernel, seed: int) -> Dict[str, object]:
+    import numpy as np
+
+    from repro.runtime.reference import numpy_dtype
+
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for t in kernel.inputs:
+        dt = numpy_dtype(t.dtype)
+        if dt.kind == "i":
+            inputs[t.name] = rng.integers(0, 7, size=t.shape).astype(dt)
+        else:
+            inputs[t.name] = rng.standard_normal(t.shape).astype(dt)
+    return inputs
+
+
+def run_exec_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Scalar vs vectorized `evaluate_kernel` plus compiled-program replay."""
+    import numpy as np
+
+    from repro.core.compiler import AkgOptions, build
+    from repro.ir.lower import lower
+    from repro.runtime import vectorized
+    from repro.runtime.reference import evaluate_kernel
+
+    results: Dict[str, object] = {}
+    for name, builder in _exec_kernels(quick).items():
+        kernel = lower(builder(), f"bench_{name}")
+        inputs = _random_inputs(kernel, seed)
+        vectorized.reset_exec_stats()
+        t0 = time.perf_counter()
+        ref = evaluate_kernel(kernel, inputs, engine="scalar")
+        scalar_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out = evaluate_kernel(kernel, inputs, engine="vectorized")
+        vectorized_seconds = time.perf_counter() - t0
+        stats = vectorized.exec_stats()
+        results[name] = {
+            "scalar_seconds": scalar_seconds,
+            "vectorized_seconds": vectorized_seconds,
+            "speedup": scalar_seconds / max(vectorized_seconds, 1e-9),
+            "exact_equal": bool(
+                all(np.array_equal(ref[k], out[k]) for k in ref)
+            ),
+            "statements": len(kernel.statements),
+            "scalar_fallbacks": stats["scalar_fallback"],
+            "fallback_reasons": stats["fallback_reasons"],
+        }
+
+    replay: Dict[str, object] = {}
+    for name in ("matmul_small", "conv2d_small", "fused_elementwise_small"):
+        kernel_outputs = _exec_kernels(quick)[name]()
+        result = build(
+            kernel_outputs,
+            f"bench_replay_{name}",
+            options=AkgOptions(emit_trace=True),
+        )
+        inputs = _random_inputs(result.kernel, seed)
+        t0 = time.perf_counter()
+        ref = result.execute(inputs, engine="scalar")
+        scalar_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out = result.execute(inputs, engine="vectorized")
+        vectorized_seconds = time.perf_counter() - t0
+        replay[name] = {
+            "scalar_seconds": scalar_seconds,
+            "vectorized_seconds": vectorized_seconds,
+            "speedup": scalar_seconds / max(vectorized_seconds, 1e-9),
+            "exact_equal": bool(
+                all(np.array_equal(ref[k], out[k]) for k in ref)
+            ),
+        }
+
+    return {
+        "benchmark": "exec",
+        "config": {"quick": quick, "seed": seed},
+        "kernels": results,
+        "replay": replay,
+    }
+
+
+def _format_exec_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'kernel':<26}{'scalar(s)':>11}{'vector(s)':>11}{'speedup':>10}"
+        f"{'exact':>7}{'fallbacks':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["kernels"].items():
+        lines.append(
+            f"{name:<26}{row['scalar_seconds']:>11.3f}"
+            f"{row['vectorized_seconds']:>11.4f}"
+            f"{row['speedup']:>9.1f}x"
+            f"{'yes' if row['exact_equal'] else 'NO':>7}"
+            f"{row['scalar_fallbacks']:>11}"
+        )
+    lines.append("")
+    lines.append("replay (execute_program):")
+    for name, row in report["replay"].items():
+        lines.append(
+            f"{name:<26}{row['scalar_seconds']:>11.3f}"
+            f"{row['vectorized_seconds']:>11.4f}"
+            f"{row['speedup']:>9.1f}x"
+            f"{'yes' if row['exact_equal'] else 'NO':>7}"
+        )
+    return "\n".join(lines)
 
 
 # -- the cold-vs-warm disk-cache benchmark ------------------------------------
@@ -416,17 +589,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the cold-vs-warm persistent-cache benchmark instead",
     )
     parser.add_argument(
+        "--exec", dest="exec_suite", action="store_true",
+        help="run the scalar-vs-vectorized execution benchmark instead",
+    )
+    parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default BENCH_pipeline.json, or "
-             "BENCH_diskcache.json with --diskcache)",
+        help="output JSON path (default BENCH_pipeline.json, "
+             "BENCH_diskcache.json with --diskcache, or BENCH_exec.json "
+             "with --exec)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
-        args.out = (
-            "BENCH_diskcache.json" if args.diskcache else "BENCH_pipeline.json"
-        )
+        if args.exec_suite:
+            args.out = "BENCH_exec.json"
+        elif args.diskcache:
+            args.out = "BENCH_diskcache.json"
+        else:
+            args.out = "BENCH_pipeline.json"
 
-    if args.diskcache:
+    if args.exec_suite:
+        report = run_exec_suite(quick=args.quick, seed=args.seed)
+        print(_format_exec_table(report))
+        print()
+        print(perf.format_report())
+    elif args.diskcache:
         report = run_diskcache_suite(quick=args.quick, seed=args.seed)
         if not report["config"]["fresh_processes"]:
             print("warning: spawn unavailable; measurements ran in-process")

@@ -58,9 +58,10 @@ def reset() -> None:
 
 
 def report() -> Dict[str, Dict[str, float]]:
-    """Snapshot: stage timings plus solver-cache and disk-cache counters."""
+    """Snapshot: stage timings plus solver/disk-cache and engine counters."""
     from repro.core.diskcache import disk_cache_stats
     from repro.poly.cache import solver_cache_stats
+    from repro.runtime.vectorized import exec_stats
 
     return {
         "stages": {
@@ -69,6 +70,7 @@ def report() -> Dict[str, Dict[str, float]]:
         },
         "solver_cache": solver_cache_stats(),
         "disk_cache": disk_cache_stats(),
+        "exec": exec_stats(),
     }
 
 
@@ -100,4 +102,13 @@ def format_report() -> str:
         )
     else:
         lines.append("disk cache: disabled")
+    e = data["exec"]
+    if e["vectorized"] or e["scalar_fallback"] or e["scalar_small"]:
+        lines.append(
+            f"exec engine: {e['vectorized']} vectorized / "
+            f"{e['scalar_fallback']} scalar-fallback / "
+            f"{e['scalar_small']} scalar-small statements"
+        )
+        for reason, count in sorted(e["fallback_reasons"].items()):
+            lines.append(f"  fallback [{reason}]: {count}")
     return "\n".join(lines)

@@ -69,11 +69,11 @@ class TvmCompileResult:
         """Simulated execution cycles."""
         return self.simulate().total_cycles
 
-    def execute(self, inputs):
+    def execute(self, inputs, engine="auto"):
         """Functional replay (requires ``emit_trace=True``)."""
         from repro.codegen.program_exec import execute_program
 
-        return execute_program(self.program, inputs)
+        return execute_program(self.program, inputs, engine=engine)
 
 
 class _TvmProgramBuilder(ProgramBuilder):

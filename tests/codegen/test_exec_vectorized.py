@@ -1,0 +1,256 @@
+"""Vectorized compiled-program replay: bit-exact against the scalar path.
+
+``execute_program(engine="vectorized")`` replaces per-point membership
+tests with a vectorized relation check and the fused-producer dedup sets
+with boolean executed-masks; these tests pin both down with exact array
+equality against the scalar replay (itself validated against
+``evaluate_kernel``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.program_exec import (
+    _Membership,
+    _ParametricBox,
+    execute_program,
+)
+from repro.core.compiler import AkgOptions, build
+from repro.ir import ops
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
+from repro.runtime import vectorized
+from repro.runtime.reference import evaluate_kernel
+
+RNG = np.random.default_rng(11)
+
+
+def rand(shape, dtype=np.float16):
+    return RNG.standard_normal(shape).astype(dtype)
+
+
+def assert_replay_engines_equal(result, inputs):
+    scalar = result.execute(inputs, engine="scalar")
+    vec = result.execute(inputs, engine="vectorized")
+    auto = result.execute(inputs, engine="auto")
+    oracle = evaluate_kernel(result.kernel, inputs, engine="scalar")
+    for name in scalar:
+        assert np.array_equal(scalar[name], vec[name]), name
+        assert np.array_equal(scalar[name], auto[name]), name
+        assert np.array_equal(scalar[name], oracle[name]), name
+    return scalar
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("tile_sizes", [[1, 1], [3, 5], [16, 16], [64, 64]])
+    def test_elementwise_any_tiling(self, tile_sizes):
+        x = placeholder((10, 14), name="X")
+        out = ops.relu(ops.scalar_mul(x, -1.5, name="S"), name="OUT")
+        result = build(
+            out, "k", options=AkgOptions(emit_trace=True, tile_sizes=tile_sizes)
+        )
+        assert_replay_engines_equal(result, {"X": rand((10, 14), np.float32)})
+
+    def test_matmul_tiled(self):
+        a = placeholder((24, 20), name="A")
+        b = placeholder((20, 12), name="B")
+        result = build(
+            ops.matmul(a, b, name="C"),
+            "k",
+            options=AkgOptions(emit_trace=True),
+        )
+        assert_replay_engines_equal(
+            result, {"A": rand((24, 20)), "B": rand((20, 12))}
+        )
+
+    def test_conv2d_padded_replay(self):
+        d = placeholder((1, 3, 10, 10), name="D")
+        w = placeholder((4, 3, 3, 3), name="W")
+        result = build(
+            ops.relu(ops.conv2d(d, w, stride=(1, 1), padding=(1, 1)), name="OUT"),
+            "k",
+            options=AkgOptions(emit_trace=True),
+        )
+        assert_replay_engines_equal(
+            result, {"D": rand((1, 3, 10, 10)), "W": rand((4, 3, 3, 3))}
+        )
+
+    def test_multi_group_transpose(self):
+        x = placeholder((6, 9), name="X")
+        t = ops.transpose(x, (1, 0), name="T")
+        out = ops.relu(t, name="OUT")
+        result = build(out, "k", options=AkgOptions(emit_trace=True))
+        assert_replay_engines_equal(result, {"X": rand((6, 9), np.float32)})
+
+    def test_overlapping_fused_producer_tiles(self):
+        """Executed-masks must preserve no-redundant-recompute exactly:
+        the producer accumulates, so any double execution corrupts."""
+        a = placeholder((12,), name="A")
+        pre = ops.scalar_add(a, 1.0, name="PRE")
+        k = reduce_axis((0, 3), "k")
+        c = compute((10,), lambda i: te_sum(pre[i + k], axis=k), name="C")
+        result = build(
+            c, "k", options=AkgOptions(emit_trace=True, tile_sizes=[4])
+        )
+        group = result.groups[-1]
+        assert group.fused_producer_ids == ["S0"]
+        assert group.total_tiles >= 2
+        assert_replay_engines_equal(result, {"A": rand((12,), np.float32)})
+
+    def test_paper_running_example_fused(self):
+        """Fig. 3 (examples/conv_fusion.py): bias + conv + abs + relu with
+        overlapped producer tiles, replayed bit-exactly on both engines."""
+        H = W = 20
+        a = placeholder((H, W), dtype="fp16", name="A")
+        a1 = ops.scalar_add(a, 1.0, name="A1")
+        b = placeholder((3, 3), dtype="fp16", name="B")
+        kh = reduce_axis((0, 3), "kh")
+        kw = reduce_axis((0, 3), "kw")
+        c = compute(
+            (H - 2, W - 2),
+            lambda h, w: te_sum(a1[h + kh, w + kw] * b[kh, kw], axis=(kh, kw)),
+            name="C",
+        )
+        out = ops.relu(ops.abs_op(c, name="C1"), name="C2")
+        result = build(out, "fused", options=AkgOptions(emit_trace=True))
+        assert_replay_engines_equal(
+            result, {"A": rand((H, W)), "B": rand((3, 3))}
+        )
+
+    def test_engine_param_validation(self):
+        x = placeholder((4,), name="X")
+        result = build(
+            ops.relu(x, name="R"), "k", options=AkgOptions(emit_trace=True)
+        )
+        with pytest.raises(ValueError):
+            result.execute({"X": rand((4,), np.float32)}, engine="nope")
+
+    def test_runtime_fallback_still_exact(self, monkeypatch):
+        """Force the vectorized per-tile path to abort: the scalar
+        per-point fallback must produce the identical result."""
+        x = placeholder((9, 9), name="X")
+        out = ops.relu(x, name="OUT")
+        result = build(
+            out, "k", options=AkgOptions(emit_trace=True, tile_sizes=[4, 4])
+        )
+        xv = rand((9, 9), np.float32)
+        expected = result.execute({"X": xv}, engine="scalar")
+
+        def boom(*args, **kwargs):
+            raise vectorized.Unvectorizable("forced for test")
+
+        monkeypatch.setattr(vectorized, "run_statement_box", boom)
+        vectorized.reset_exec_stats()
+        got = execute_program(result.program, {"X": xv}, engine="vectorized")
+        for name in expected:
+            assert np.array_equal(expected[name], got[name]), name
+        assert vectorized.exec_stats()["fallback_reasons"]["forced for test"] > 0
+
+
+class TestParametricBox:
+    def test_box_covers_and_filters_like_ilp(self):
+        """The parametric box may be looser than the per-tile ILP box but
+        must contain it, and membership filtering must select the same
+        instance set."""
+        from repro.poly.affine import AffineExpr, Constraint
+
+        a = placeholder((12,), name="A")
+        pre = ops.scalar_add(a, 1.0, name="PRE")
+        k = reduce_axis((0, 3), "k")
+        c = compute((10,), lambda i: te_sum(pre[i + k], axis=k), name="C")
+        result = build(
+            c, "k", options=AkgOptions(emit_trace=True, tile_sizes=[4])
+        )
+        group = result.groups[-1]
+        for stmt in group.statements:
+            rel = group.instance_relations[stmt.stmt_id]
+            wrapped = rel.wrap()
+            pbox = _ParametricBox(
+                wrapped, stmt.iter_names, group.tile_dims, stmt.iter_extents
+            )
+            for tile in range(group.tile_counts[0]):
+                tile_env = dict(zip(group.tile_dims, (tile,)))
+                box = pbox.at(tile_env)
+                cons = [
+                    Constraint.eq(AffineExpr.variable(d), v)
+                    for d, v in tile_env.items()
+                ]
+                image = rel.add_constraints(cons).range()
+                ilp_box = None if image.is_empty() else image.bounding_box()
+                if box is None:
+                    assert ilp_box is None or all(
+                        image.is_empty() for _ in [0]
+                    )
+                    continue
+                if ilp_box is not None:
+                    for (lo, hi), name in zip(box, stmt.iter_names):
+                        assert lo <= ilp_box[name][0]
+                        assert hi >= ilp_box[name][1]
+                # Same instances selected, whichever box enumerates them.
+                members_param = {
+                    pt
+                    for pt in _points(box)
+                    if wrapped.contains({**tile_env, **dict(zip(stmt.iter_names, pt))})
+                }
+                members_ilp = set()
+                if ilp_box is not None:
+                    members_ilp = {
+                        pt
+                        for pt in _points(
+                            [ilp_box[n] for n in stmt.iter_names]
+                        )
+                        if wrapped.contains(
+                            {**tile_env, **dict(zip(stmt.iter_names, pt))}
+                        )
+                    }
+                assert members_param == members_ilp
+
+    def test_membership_mask_matches_contains(self):
+        a = placeholder((12,), name="A")
+        pre = ops.scalar_add(a, 1.0, name="PRE")
+        k = reduce_axis((0, 3), "k")
+        c = compute((10,), lambda i: te_sum(pre[i + k], axis=k), name="C")
+        result = build(
+            c, "k", options=AkgOptions(emit_trace=True, tile_sizes=[4])
+        )
+        group = result.groups[-1]
+        for stmt in group.statements:
+            wrapped = group.instance_relations[stmt.stmt_id].wrap()
+            membership = _Membership(wrapped, group.tile_dims, stmt.iter_names)
+            assert membership.exact
+            pbox = _ParametricBox(
+                wrapped, stmt.iter_names, group.tile_dims, stmt.iter_extents
+            )
+            for tile in range(group.tile_counts[0]):
+                tile_env = dict(zip(group.tile_dims, (tile,)))
+                box = pbox.at(tile_env)
+                if box is None:
+                    continue
+                n = len(box)
+                igrids = []
+                for axis, (lo, hi) in enumerate(box):
+                    shape = [1] * n
+                    shape[axis] = hi - lo + 1
+                    igrids.append(
+                        np.arange(lo, hi + 1, dtype=np.int64).reshape(shape)
+                    )
+                mask = membership.mask((tile,), igrids)
+                shape = tuple(hi - lo + 1 for lo, hi in box)
+                full = (
+                    np.ones(shape, bool)
+                    if mask is None
+                    else np.broadcast_to(
+                        np.zeros(shape, bool) if mask is False else mask, shape
+                    )
+                )
+                for offsets in np.ndindex(shape):
+                    pt = tuple(lo + o for (lo, _), o in zip(box, offsets))
+                    expected = wrapped.contains(
+                        {**tile_env, **dict(zip(stmt.iter_names, pt))}
+                    )
+                    assert bool(full[offsets]) == expected, (tile, pt)
+
+
+def _points(box):
+    import itertools
+
+    return itertools.product(*[range(lo, hi + 1) for lo, hi in box])

@@ -92,3 +92,27 @@ def test_any_tiling_preserves_semantics(rows, cols, tile_r, tile_c, seed):
     xv = rand((rows, cols), seed)
     got = result.execute({"X": xv})["OUT"]
     np.testing.assert_allclose(got, np.maximum(xv * -1.5, 0), rtol=1e-5)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    rows=st.integers(3, 10),
+    cols=st.integers(3, 10),
+    tile_r=st.integers(1, 6),
+    tile_c=st.integers(1, 6),
+    seed=st.integers(0, 99),
+)
+def test_any_tiling_engines_bit_identical(rows, cols, tile_r, tile_c, seed):
+    """Property: scalar and vectorized replay agree exactly (not just
+    allclose) for arbitrary legal tilings."""
+    x = placeholder((rows, cols), name="X")
+    out = ops.relu(ops.scalar_mul(x, -1.5, name="S"), name="OUT")
+    result = build(
+        out,
+        "k",
+        options=AkgOptions(emit_trace=True, tile_sizes=[tile_r, tile_c]),
+    )
+    xv = rand((rows, cols), seed)
+    scalar = result.execute({"X": xv}, engine="scalar")["OUT"]
+    vectorized = result.execute({"X": xv}, engine="vectorized")["OUT"]
+    assert np.array_equal(scalar, vectorized)

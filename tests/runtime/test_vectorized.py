@@ -1,0 +1,269 @@
+"""Vectorized-vs-scalar engine equivalence: bit-exact or it doesn't ship.
+
+Every assertion here uses exact array equality (``np.array_equal``), not
+``allclose``: the vectorized engine is specified to reproduce the scalar
+oracle bit-for-bit on fp16/fp32/int32, including reduction accumulation
+order and the lazy-``Select`` out-of-bounds guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir import ops
+from repro.ir.expr import BinaryOp, Select
+from repro.ir.lower import lower
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_max, te_sum
+from repro.runtime.reference import (
+    AUTO_VECTORIZE_MIN_INSTANCES,
+    evaluate_kernel,
+)
+from repro.runtime.vectorized import exec_stats, reset_exec_stats
+
+RNG = np.random.default_rng(7)
+
+
+def rand(shape, dtype="fp32"):
+    if dtype == "int32":
+        return RNG.integers(-5, 6, size=shape).astype(np.int32)
+    np_dtype = {"fp16": np.float16, "fp32": np.float32}[dtype]
+    return RNG.standard_normal(shape).astype(np_dtype)
+
+
+def assert_engines_equal(outputs, inputs, expect_fallbacks=0):
+    """Lower once, run all three engines, require exact equality."""
+    kernel = lower(outputs)
+    scalar = evaluate_kernel(kernel, inputs, engine="scalar")
+    reset_exec_stats()
+    vectorized = evaluate_kernel(kernel, inputs, engine="vectorized")
+    stats = exec_stats()
+    auto = evaluate_kernel(kernel, inputs, engine="auto")
+    for name in scalar:
+        assert np.array_equal(scalar[name], vectorized[name]), name
+        assert np.array_equal(scalar[name], auto[name]), name
+        assert scalar[name].dtype == vectorized[name].dtype, name
+    assert stats["scalar_fallback"] == expect_fallbacks, stats
+    return scalar
+
+
+class TestExampleKernels:
+    """Every operator in the catalog, vectorized without fallback."""
+
+    def test_matmul_fp16(self):
+        a, b = placeholder((9, 13), "fp16", "A"), placeholder((13, 7), "fp16", "B")
+        assert_engines_equal(
+            ops.matmul(a, b), {"A": rand((9, 13), "fp16"), "B": rand((13, 7), "fp16")}
+        )
+
+    def test_matmul_fp32(self):
+        a, b = placeholder((16, 16), "fp32", "A"), placeholder((16, 16), "fp32", "B")
+        assert_engines_equal(
+            ops.matmul(a, b), {"A": rand((16, 16)), "B": rand((16, 16))}
+        )
+
+    def test_matmul_int32(self):
+        a = placeholder((8, 8), "int32", "A")
+        b = placeholder((8, 8), "int32", "B")
+        assert_engines_equal(
+            ops.matmul(a, b),
+            {"A": rand((8, 8), "int32"), "B": rand((8, 8), "int32")},
+        )
+
+    def test_batched_matmul(self):
+        a = placeholder((3, 6, 5), "fp16", "A")
+        b = placeholder((3, 5, 4), "fp16", "B")
+        assert_engines_equal(
+            ops.batched_matmul(a, b),
+            {"A": rand((3, 6, 5), "fp16"), "B": rand((3, 5, 4), "fp16")},
+        )
+
+    def test_conv2d_padded(self):
+        d = placeholder((1, 3, 9, 9), "fp16", "D")
+        w = placeholder((4, 3, 3, 3), "fp16", "W")
+        assert_engines_equal(
+            ops.conv2d(d, w, stride=(1, 1), padding=(1, 1)),
+            {"D": rand((1, 3, 9, 9), "fp16"), "W": rand((4, 3, 3, 3), "fp16")},
+        )
+
+    def test_conv2d_strided(self):
+        d = placeholder((1, 2, 10, 10), "fp16", "D")
+        w = placeholder((2, 2, 3, 3), "fp16", "W")
+        assert_engines_equal(
+            ops.conv2d(d, w, stride=(2, 2), padding=(1, 1)),
+            {"D": rand((1, 2, 10, 10), "fp16"), "W": rand((2, 2, 3, 3), "fp16")},
+        )
+
+    def test_depthwise_conv2d(self):
+        d = placeholder((1, 3, 8, 8), "fp16", "D")
+        w = placeholder((3, 3, 3), "fp16", "W")
+        assert_engines_equal(
+            ops.depthwise_conv2d(d, w, padding=(1, 1)),
+            {"D": rand((1, 3, 8, 8), "fp16"), "W": rand((3, 3, 3), "fp16")},
+        )
+
+    def test_pools(self):
+        d = placeholder((1, 2, 8, 8), "fp32", "D")
+        assert_engines_equal(ops.max_pool2d(d), {"D": rand((1, 2, 8, 8))})
+        assert_engines_equal(ops.avg_pool2d(d), {"D": rand((1, 2, 8, 8))})
+
+    def test_batch_norm(self):
+        x = placeholder((2, 3, 4, 4), "fp32", "X")
+        total, sq = ops.batch_norm_reduce(x)
+        assert_engines_equal([total, sq], {"X": rand((2, 3, 4, 4))})
+        mean = placeholder((3,), "fp32", "MU")
+        var = placeholder((3,), "fp32", "VAR")
+        gamma = placeholder((3,), "fp32", "G")
+        beta = placeholder((3,), "fp32", "B")
+        assert_engines_equal(
+            ops.batch_norm_update(x, mean, var, gamma, beta),
+            {
+                "X": rand((2, 3, 4, 4)),
+                "MU": rand((3,)),
+                "VAR": np.abs(rand((3,))) + np.float32(0.5),
+                "G": rand((3,)),
+                "B": rand((3,)),
+            },
+        )
+
+    def test_gelu_layer_norm_softmax(self):
+        x = placeholder((6, 16), "fp32", "X")
+        assert_engines_equal(ops.gelu(x), {"X": rand((6, 16))})
+        assert_engines_equal(ops.softmax_last_axis(x), {"X": rand((6, 16))})
+        gamma = placeholder((16,), "fp32", "G")
+        beta = placeholder((16,), "fp32", "B")
+        assert_engines_equal(
+            ops.layer_norm(x, gamma, beta),
+            {"X": rand((6, 16)), "G": rand((16,)), "B": rand((16,))},
+        )
+
+    def test_transpose_pad_cast_one_hot(self):
+        x = placeholder((5, 9), "fp32", "X")
+        assert_engines_equal(ops.transpose(x, (1, 0)), {"X": rand((5, 9))})
+        assert_engines_equal(ops.cast(x, "fp16"), {"X": rand((5, 9))})
+        d = placeholder((1, 2, 5, 5), "fp16", "D")
+        assert_engines_equal(ops.pad2d(d, 2, 1), {"D": rand((1, 2, 5, 5), "fp16")})
+        idx = placeholder((7,), "int32", "I")
+        assert_engines_equal(
+            ops.one_hot(idx, 5),
+            {"I": RNG.integers(0, 5, 7).astype(np.int32)},
+        )
+
+    def test_embedding_lookup_falls_back(self):
+        """Data-dependent indexing is unclassifiable: scalar fallback,
+        same results, counted."""
+        table = placeholder((10, 4), "fp32", "T")
+        idx = placeholder((6,), "int32", "I")
+        reset_exec_stats()
+        assert_engines_equal(
+            ops.embedding_lookup(table, idx),
+            {"T": rand((10, 4)), "I": RNG.integers(0, 10, 6).astype(np.int32)},
+            expect_fallbacks=1,
+        )
+        assert exec_stats()["fallback_reasons"] == {"data-dependent indexing": 1}
+
+
+class TestEdgeCases:
+    def test_zero_extent_reduce_axis(self):
+        x = placeholder((4, 3), "fp32", "X")
+        k = reduce_axis((0, 0), "k")
+        out = compute((4,), lambda i: te_sum(x[i, k], axis=k), name="Z")
+        res = assert_engines_equal(out, {"X": rand((4, 3))})
+        assert np.array_equal(res["Z"], np.zeros(4, np.float32))
+
+    def test_select_padding_at_boundaries(self):
+        """Guarded reads one past each edge: the guard keeps every lane
+        in bounds, so no fallback and exact zero padding."""
+        x = placeholder((5,), "fp32", "X")
+        out = compute(
+            (7,),
+            lambda i: Select(
+                BinaryOp(
+                    "and",
+                    BinaryOp("ge", i, 1),
+                    BinaryOp("le", i, 5),
+                ),
+                x[i - 1],
+                0.0,
+            ),
+            name="P",
+        )
+        assert_engines_equal(out, {"X": rand((5,))})
+
+    def test_guarded_oob_true_branch_matches_scalar_error(self):
+        """If the guard *fails* to protect an OOB read, the vectorized
+        engine must not silently produce values: it falls back to the
+        scalar interpreter, which raises exactly as it always did."""
+        x = placeholder((4,), "fp32", "X")
+        out = compute(
+            (4,),
+            lambda i: Select(BinaryOp("ge", i, 0), x[i + 100], 0.0),
+            name="BAD",
+        )
+        kernel = lower(out)
+        xv = rand((4,))
+        with pytest.raises(IndexError):
+            evaluate_kernel(kernel, {"X": xv}, engine="scalar")
+        with pytest.raises(IndexError):
+            evaluate_kernel(kernel, {"X": xv}, engine="vectorized")
+
+    def test_non_unit_stride_access(self):
+        x = placeholder((11,), "fp32", "X")
+        out = compute((5,), lambda i: x[2 * i + 1], name="S")
+        assert_engines_equal(out, {"X": rand((11,))})
+
+    def test_reversed_access(self):
+        x = placeholder((6,), "fp32", "X")
+        out = compute((6,), lambda i: x[5 - i], name="R")
+        assert_engines_equal(out, {"X": rand((6,))})
+
+    def test_diagonal_gather(self):
+        x = placeholder((6, 6), "fp32", "X")
+        out = compute((6,), lambda i: x[i, i], name="DIAG")
+        assert_engines_equal(out, {"X": rand((6, 6))})
+
+    def test_negative_index_wraps_like_numpy(self):
+        """Unguarded negative indices keep raw numpy wrap-around in both
+        engines (the scalar oracle indexes numpy arrays directly)."""
+        x = placeholder((6,), "fp32", "X")
+        out = compute((4,), lambda i: x[i - 2], name="W")
+        assert_engines_equal(out, {"X": rand((6,))})
+
+    def test_fp16_cast_chain(self):
+        x = placeholder((8, 8), "fp32", "X")
+        out = ops.cast(ops.gelu(ops.cast(x, "fp16")), "fp32")
+        assert_engines_equal(out, {"X": rand((8, 8))})
+
+    def test_max_reduction_fp16_rounding(self):
+        """One-shot fmax fast path vs per-step scalar max with fp16
+        accumulator casts must agree exactly."""
+        x = placeholder((5, 64), "fp16", "X")
+        k = reduce_axis((0, 64), "k")
+        out = compute((5,), lambda i: te_max(x[i, k], axis=k), name="M")
+        assert_engines_equal(out, {"X": rand((5, 64), "fp16")})
+
+    def test_engine_validation(self):
+        x = placeholder((4,), "fp32", "X")
+        kernel = lower(ops.relu(x))
+        with pytest.raises(ValueError):
+            evaluate_kernel(kernel, {"X": rand((4,))}, engine="gpu")
+
+    def test_auto_routes_small_statements_to_scalar(self):
+        shape = (2, 2)
+        assert shape[0] * shape[1] < AUTO_VECTORIZE_MIN_INSTANCES
+        x = placeholder(shape, "fp32", "X")
+        kernel = lower(ops.relu(x))
+        reset_exec_stats()
+        evaluate_kernel(kernel, {"X": rand(shape)}, engine="auto")
+        stats = exec_stats()
+        assert stats["scalar_small"] == 1
+        assert stats["vectorized"] == 0
+
+    def test_perf_report_surfaces_exec_counters(self):
+        from repro.tools import perf
+
+        x = placeholder((16, 16), "fp32", "X")
+        kernel = lower(ops.relu(x))
+        reset_exec_stats()
+        evaluate_kernel(kernel, {"X": rand((16, 16))}, engine="vectorized")
+        report = perf.report()
+        assert report["exec"]["vectorized"] >= 1
+        assert "exec engine:" in perf.format_report()

@@ -143,3 +143,31 @@ class TestDiskcacheBench:
         assert row["tuner_agree"] is True
         assert row["warm_hit"] is True
         assert row["speedup_warm_vs_cold"] >= 5.0
+
+
+class TestExecBench:
+    def test_exec_quick_suite_exact_and_no_fallbacks(self):
+        """Quick exec suite: every kernel bit-exact, zero scalar
+        fallbacks, vectorized faster than scalar."""
+        import repro.tools.bench as bench
+
+        report = bench.run_exec_suite(quick=True)
+        assert report["benchmark"] == "exec"
+        assert report["kernels"], "exec suite ran no kernels"
+        for name, row in report["kernels"].items():
+            assert row["exact_equal"] is True, name
+            assert row["scalar_fallbacks"] == 0, name
+            assert row["speedup"] > 1.0, name
+        for name, row in report["replay"].items():
+            assert row["exact_equal"] is True, name
+
+    def test_exec_cli_writes_json(self, tmp_path):
+        import json
+
+        import repro.tools.bench as bench
+
+        out = tmp_path / "BENCH_exec.json"
+        assert bench.main(["--exec", "--quick", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["benchmark"] == "exec"
+        assert all(r["exact_equal"] for r in data["kernels"].values())
