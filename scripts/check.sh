@@ -27,6 +27,23 @@ python -m repro.tools.bench --exec --quick --out /tmp/bench_exec_smoke.json
 rm -f /tmp/bench_exec_smoke.json
 
 echo
+echo "== chaos sweep (single-fault scenarios, typed-or-identical) =="
+python -m pytest tests/tools/test_chaos.py -m chaos -q
+python -m repro.tools.bench --chaos --quick --out /tmp/bench_chaos_smoke.json
+rm -f /tmp/bench_chaos_smoke.json
+
+echo
+echo "== typed CLI exit codes under injection =="
+set +e
+REPRO_FAULT_SPEC="ilp.solve:error" \
+    python -m repro.tools.akgc matmul --shape 12,10,8 --no-disk-cache \
+    > /dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 3 ] \
+    || { echo "FAIL: expected exit 3 (SolverBudgetError), got $code"; exit 1; }
+
+echo
 echo "== disk-cache round trip (cold akgc, then warm) =="
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT

@@ -32,7 +32,12 @@ def _init_worker(frontend) -> None:
 def _measure_worker(sizes: List[int]) -> Optional[float]:
     """Compile + simulate one candidate in a worker process."""
     from repro.core.compiler import AkgOptions, backend_build
+    from repro.tools import faultinject
 
+    # Outside the try: an injected worker fault must look like a *dead or
+    # misbehaving worker* to the parent (task exception / hard exit), not
+    # like an ordinary infeasible candidate.
+    faultinject.fire("autotune.worker")
     try:
         result = backend_build(
             _WORKER_STATE["frontend"], AkgOptions(tile_sizes=sizes)
@@ -96,16 +101,51 @@ class ParallelMeasurer:
             return None
         return float(result.cycles())
 
+    #: Pool attempts per batch before degrading to serial: the first try
+    #: plus one retry against a freshly recreated pool.  Transient worker
+    #: deaths (an OOM-killed child) clear on the retry; persistent ones
+    #: (broken environment, poisoned payload) should not be retried
+    #: forever against an interactive tuning loop.
+    MAX_POOL_ATTEMPTS = 2
+    RETRY_BACKOFF_SECONDS = 0.05
+
     def __call__(self, batch: Sequence[List[int]]) -> List[Optional[float]]:
         if not batch:
             return []
         if not self._serial_fallback and len(batch) > 1:
-            try:
-                pool = self._ensure_pool()
-                return list(pool.map(_measure_worker, [list(s) for s in batch]))
-            except Exception:
-                # Broken pool / unpicklable payload / no fork: degrade for
-                # the rest of the session rather than retrying per batch.
-                self._serial_fallback = True
-                self.close()
+            import time
+
+            from repro.core import resilience
+
+            delay = self.RETRY_BACKOFF_SECONDS
+            for attempt in range(self.MAX_POOL_ATTEMPTS):
+                try:
+                    pool = self._ensure_pool()
+                    return list(
+                        pool.map(_measure_worker, [list(s) for s in batch])
+                    )
+                except Exception as exc:
+                    # A dead worker poisons the whole ProcessPoolExecutor
+                    # (every queued future raises BrokenProcessPool), so
+                    # recreate the pool rather than reuse it.
+                    self.close()
+                    if attempt + 1 < self.MAX_POOL_ATTEMPTS:
+                        resilience.note_event(
+                            "autotune.pool", "retry",
+                            error=type(exc).__name__,
+                            detail=f"recreating pool (attempt {attempt + 2})",
+                        )
+                        time.sleep(delay)
+                        delay *= 4.0
+                    else:
+                        resilience.note_event(
+                            "autotune.pool", "fallback", fallback="serial",
+                            error=type(exc).__name__,
+                            detail="pool attempts exhausted",
+                        )
+            # Degrade for the rest of the session rather than paying the
+            # attempt cost on every subsequent batch.  Serial measurement
+            # is a pure function of (frontend, sizes), so the tuner's
+            # history stays bit-identical to a healthy parallel run.
+            self._serial_fallback = True
         return [self._measure_serial(s) for s in batch]

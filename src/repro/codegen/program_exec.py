@@ -47,6 +47,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.errors import ExecutionFallbackError
 from repro.fusion.posttile import TiledGroup
 from repro.hw.isa import Program
 from repro.ir.lower import LoweredKernel, PolyStatement
@@ -206,9 +207,10 @@ def _run_group(
                 start = time.perf_counter()
                 try:
                     plan = vectorized.plan_for(stmt)
-                except vectorized.Unvectorizable as exc:
+                except ExecutionFallbackError as exc:
                     vectorized.note_scalar_fallback(
-                        exc.reason, time.perf_counter() - start
+                        getattr(exc, "reason", None) or str(exc),
+                        time.perf_counter() - start,
                     )
             else:
                 vectorized.note_scalar_fallback(
@@ -236,13 +238,15 @@ def _run_group(
                     vec_seconds += time.perf_counter() - start
                     vec_stmts.add(rep.stmt.stmt_id)
                     continue
-                except vectorized.Unvectorizable as exc:
-                    # e.g. a guarded read escaped its Select in this tile;
-                    # nothing was written or recorded as executed yet.
+                except ExecutionFallbackError as exc:
+                    # e.g. a guarded read escaped its Select in this tile,
+                    # or an injected exec.vectorized fault; nothing was
+                    # written or recorded as executed yet.
                     fb_start = time.perf_counter()
                     _run_tile_scalar(rep, tile_env, box, buffers)
                     vectorized.note_scalar_fallback(
-                        exc.reason, time.perf_counter() - fb_start
+                        getattr(exc, "reason", None) or str(exc),
+                        time.perf_counter() - fb_start,
                     )
                     continue
             _run_tile_scalar(rep, tile_env, box, buffers)
@@ -255,6 +259,9 @@ def _run_group(
 
 
 def _run_tile_vectorized(rep, tile, box, buffers) -> None:
+    from repro.tools import faultinject
+
+    faultinject.fire("exec.vectorized")
     n = len(box)
     igrids = []
     for k, (lo, hi) in enumerate(box):

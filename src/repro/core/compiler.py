@@ -21,7 +21,10 @@ import numpy as np
 
 from repro.codegen.program import CodegenOptions, ProgramBuilder
 from repro.codegen.program_exec import execute_program
+from repro.core import resilience
+from repro.core.errors import ReproError, SchedulingError, TilingError
 from repro.core.frontend import FrontEnd, run_frontend
+from repro.core.resilience import ResilienceReport, StageBudget
 from repro.fusion.intratile import (
     UnitAssignment,
     assign_compute_units,
@@ -63,6 +66,7 @@ class AkgOptions:
         verify_schedule: bool = False,
         scheduler: Optional[SchedulerOptions] = None,
         tile_shrink: int = 0,
+        budget: Optional[StageBudget] = None,
     ):
         if isinstance(tile_policy, str):
             tile_policy = parse_tiling_policy(tile_policy)
@@ -79,6 +83,10 @@ class AkgOptions:
         # Extra halvings applied after tile selection; used to model
         # unoptimised hand code that picks shape-oblivious small tiles.
         self.tile_shrink = tile_shrink
+        # Per-stage resource limits (wall clock, solver nodes, FM system
+        # size).  Excluded from cache fingerprints: budgets bound how long
+        # compilation may take, never what a first-choice result contains.
+        self.budget = budget or StageBudget()
 
 
 class CompileResult:
@@ -107,6 +115,9 @@ class CompileResult:
         self.assignments = assignments
         self.tile_sizes = tile_sizes
         self.hw = hw
+        # Degradation events recorded while compiling this result; an
+        # empty report means every stage took its first-choice path.
+        self.resilience: ResilienceReport = ResilienceReport()
 
     def simulate(self) -> SimReport:
         """Run the cycle simulator on the compiled program."""
@@ -162,17 +173,27 @@ def build(
     from repro.core import diskcache
 
     options = options or AkgOptions()
-    frontend = run_frontend(
-        outputs, name, hw=hw, scheduler_options=options.scheduler
-    )
-    key = _program_cache_key(frontend, options)
-    with perf.stage("backend.cache_probe"):
-        cached = diskcache.load(key)
-    if isinstance(cached, CompileResult):
-        return cached
-    result = backend_build(frontend, options)
-    diskcache.store(key, result)
-    return result
+    with resilience.collect() as report:
+        frontend = run_frontend(
+            outputs,
+            name,
+            hw=hw,
+            scheduler_options=options.scheduler,
+            budget=options.budget,
+        )
+        key = _program_cache_key(frontend, options)
+        with perf.stage("backend.cache_probe"):
+            cached = diskcache.load(key)
+        if isinstance(cached, CompileResult):
+            cached.resilience = report
+            return cached
+        result = backend_build(frontend, options)
+        result.resilience = report
+        # A degraded result is *not* stored: a later healthy run must
+        # recompile first-choice, not inherit this run's fallbacks.
+        if not report.degraded:
+            diskcache.store(key, result)
+        return result
 
 
 def _program_cache_key(frontend: FrontEnd, options: AkgOptions) -> Optional[str]:
@@ -207,15 +228,22 @@ def backend_build(
     deps = frontend.deps
     clustering = frontend.clustering
     fresh_tree = frontend.fresh_tree
+    budget = getattr(options, "budget", None)
 
     if options.verify_schedule:
         violations = check_legality(fresh_tree(), deps)
         if violations:
-            raise RuntimeError(f"illegal schedule: {violations}")
+            raise SchedulingError(
+                f"illegal schedule: {violations}",
+                stage="backend.verify",
+                kernel=kernel.name,
+            )
 
     extents = frontend.extents
 
-    with perf.stage("backend.tile_select"):
+    with perf.stage("backend.tile_select"), resilience.stage_scope(
+        "backend.tile_select", budget
+    ):
         sizes = _select_tile_sizes(frontend, options)
     for _ in range(options.tile_shrink):
         sizes = _halve_largest(sizes)
@@ -235,11 +263,30 @@ def backend_build(
         sizes_local = list(start_sizes)
         shrunk = False
         for _ in range(64):
+            resilience.check_deadline()
             tree = tree_fn()
             if fuse:
-                fusion = apply_post_tiling_fusion(
-                    tree, kernel, deps, cl, sizes_local
-                )
+                try:
+                    fusion = apply_post_tiling_fusion(
+                        tree, kernel, deps, cl, sizes_local
+                    )
+                except ReproError as exc:
+                    if isinstance(exc, resilience.StageTimeoutError):
+                        raise  # the whole stage is out of time
+                    # Fusion rung of the ladder: tile the groups
+                    # separately instead.  The tree may be partially
+                    # rewritten, so restart from a fresh clone.
+                    resilience.note_event(
+                        "backend.fusion",
+                        "fallback",
+                        fallback="fusionless",
+                        error=type(exc).__name__,
+                        detail=str(exc),
+                        dedupe=True,
+                    )
+                    fusion = _fusionless(
+                        tree_fn(), kernel, deps, cl, sizes_local
+                    )
             else:
                 fusion = _fusionless(tree, kernel, deps, cl, sizes_local)
 
@@ -253,6 +300,7 @@ def backend_build(
                 own = _own_group_sizes(group, hw)
                 group = tile_single_group(group.source_filter, stmt_by_id, own)
                 for _ in range(40):
+                    resilience.check_deadline()
                     assignment = assign_compute_units(group.statements)
                     plan = plan_storage(
                         group, assignment, kernel, hw, options.double_buffer
@@ -280,10 +328,16 @@ def backend_build(
             )
         return None
 
-    with perf.stage("backend.tile_fit"):
+    with perf.stage("backend.tile_fit"), resilience.stage_scope(
+        "backend.tile_fit", budget
+    ):
         result = attempt(_capacity_shrink, sizes)
         if result is None:  # pragma: no cover - converges at size 1
-            raise RuntimeError("could not fit tiles into on-chip buffers")
+            raise TilingError(
+                "could not fit tiles into on-chip buffers",
+                stage="backend.tile_fit",
+                kernel=kernel.name,
+            )
 
         candidates = [result]
         if result[4] and len(sizes) == 4:
@@ -320,7 +374,9 @@ def backend_build(
     _sink_vector_dims(fusion, kernel, merged_assignment)
     _graft_fractal_subtrees(fusion, merged_assignment, hw)
 
-    with perf.stage("backend.codegen"):
+    with perf.stage("backend.codegen"), resilience.stage_scope(
+        "backend.codegen", budget
+    ):
         codegen = ProgramBuilder(
             hw,
             CodegenOptions(
@@ -388,9 +444,37 @@ def _select_tile_sizes(frontend: FrontEnd, options: AkgOptions) -> List[int]:
     if cube and cube[0].data_rank == 4 and len(extents) == 4:
         return _conv_tile_sizes(extents)
 
-    evaluator = _fit_evaluator(frontend, options)
-    tiler = AutoTiler(hw, evaluator, extents, double_buffered=options.double_buffer)
-    return tiler.search()
+    # The tiling ladder: footprint-fitted greedy search → a static
+    # power-of-two heuristic → minimal sizes.  Every rung only *starts*
+    # the exact-fit loop of backend_build, which shrinks to fit from
+    # whatever the rung proposes, so any rung yields a legal build.
+    def _auto_search() -> List[int]:
+        evaluator = _fit_evaluator(frontend, options)
+        tiler = AutoTiler(
+            hw, evaluator, extents, double_buffered=options.double_buffer
+        )
+        return tiler.search()
+
+    return resilience.with_fallback(
+        "backend.tiling",
+        ("auto-search", _auto_search),
+        ("static-heuristic", lambda: _static_tile_sizes(extents)),
+        ("minimal", lambda: [1] * len(extents)),
+    )
+
+
+def _static_tile_sizes(extents: List[int]) -> List[int]:
+    """Search-free fallback sizes: modest power-of-two outer tiles, the
+    innermost dimension kept whole for DMA contiguity.  Deliberately
+    conservative — the exact-fit loop shrinks further when needed."""
+    sizes = []
+    for k, e in enumerate(extents):
+        if k == len(extents) - 1:
+            sizes.append(max(e, 1))
+            continue
+        cap = max(min(e, 32), 1)
+        sizes.append(1 << (cap.bit_length() - 1))
+    return sizes
 
 
 def _conv_tile_sizes(extents: List[int]) -> List[int]:

@@ -20,11 +20,18 @@ Design points:
   different ``id()`` values and auto-generated axis names) map to the
   same key, while any change to shapes, dtypes, ops, immediates or
   wiring changes the key.
-- **Atomic writes, tolerant reads.**  Entries are written to a temp file
-  and ``os.replace``-d into place, so a concurrent reader never sees a
-  half-written pickle.  Any failure to read an entry (truncation, stale
-  class layout, unpicklable garbage) counts as a miss and deletes the
-  bad file: a corrupt cache can cost a recompile, never a crash.
+- **Atomic writes, checksummed reads.**  Entries are written to a temp
+  file and ``os.replace``-d into place, so a concurrent reader never
+  sees a half-written pickle.  Each entry carries a magic header and a
+  sha256 of its pickled payload: pickle happily tolerates bit-flips and
+  returns silently wrong data, so integrity is checked *before*
+  deserialising.  Any bad entry (truncation, bit rot, stale class
+  layout) raises :class:`~repro.core.errors.CacheCorruptionError`
+  internally, which the read path converts into "delete the entry,
+  count a miss, record a recovery event": a corrupt cache can cost a
+  recompile, never a crash and never a stale result.  The
+  ``diskcache.read`` fault-injection site mangles real entry bytes on
+  disk, so tests exercise this exact path.
 - **Kill switches.**  ``REPRO_NO_DISK_CACHE=1`` disables the cache;
   ``REPRO_CACHE_DIR`` moves it.  Both are read at call time so tests can
   isolate cache state per-test.  The default root is
@@ -48,6 +55,9 @@ from contextlib import contextmanager
 from fractions import Fraction
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.core import resilience
+from repro.core.errors import CacheCorruptionError
+
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "DiskCache",
@@ -68,7 +78,12 @@ __all__ = [
 
 #: Bump whenever the pickled payload layout or the fingerprint scheme
 #: changes; old entries then miss instead of unpickling stale shapes.
-CACHE_FORMAT_VERSION = 1
+#: v2: entries gained the magic + sha256 integrity header.
+CACHE_FORMAT_VERSION = 2
+
+#: Entry header: magic, then the sha256 of the pickled payload.
+_MAGIC = b"RAKG\x02"
+_HEADER_LEN = len(_MAGIC) + hashlib.sha256().digest_size
 
 
 class FingerprintError(ValueError):
@@ -95,6 +110,7 @@ class DiskCache:
         self.stores = 0
         self.evictions = 0
         self.errors = 0
+        self.corruptions = 0
 
     # -- paths ---------------------------------------------------------------
 
@@ -125,18 +141,35 @@ class DiskCache:
         """Return the cached value or ``None``; never raises.
 
         A present-but-unreadable entry (truncated write from a killed
-        process, pickle from an incompatible code version) is deleted and
-        reported as a miss.
+        process, bit rot failing the checksum, pickle from an
+        incompatible code version) is deleted, reported as a miss, and
+        recorded as a recovery event on the active resilience report.
         """
+        from repro.tools import faultinject
+
         path = self._path(key)
         try:
+            # Inside the try: an error-mode injection at this site must
+            # exercise the same absorb-as-miss path real corruption takes.
+            mode = faultinject.directive("diskcache.read")
+            if mode in ("corrupt", "truncate"):
+                _mangle_entry(path, mode)
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                blob = fh.read()
+            value = self._decode(blob)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             self.errors += 1
+            if isinstance(exc, CacheCorruptionError):
+                self.corruptions += 1
+            resilience.note_event(
+                "diskcache",
+                "recovered",
+                error=type(exc).__name__,
+                detail=f"entry {key[:12]} dropped: {exc}",
+            )
             self.misses += 1
             try:
                 os.remove(path)
@@ -146,6 +179,17 @@ class DiskCache:
         self.hits += 1
         return value
 
+    @staticmethod
+    def _decode(blob: bytes) -> Any:
+        """Verify the integrity header, then unpickle the payload."""
+        if len(blob) < _HEADER_LEN or not blob.startswith(_MAGIC):
+            raise CacheCorruptionError("cache entry has no valid header")
+        expect = blob[len(_MAGIC):_HEADER_LEN]
+        payload = blob[_HEADER_LEN:]
+        if hashlib.sha256(payload).digest() != expect:
+            raise CacheCorruptionError("cache entry failed its checksum")
+        return pickle.loads(payload)
+
     def put(self, key: str, value: Any) -> bool:
         """Store ``value`` under ``key``; returns False on any failure.
 
@@ -154,7 +198,8 @@ class DiskCache:
         """
         path = self._path(key)
         try:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            pickled = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = _MAGIC + hashlib.sha256(pickled).digest() + pickled
         except Exception:
             self.errors += 1
             return False
@@ -219,6 +264,7 @@ class DiskCache:
             "stores": self.stores,
             "evictions": self.evictions,
             "errors": self.errors,
+            "corruptions": self.corruptions,
             "entries": len(self._entries()),
             "hit_rate": (self.hits / total) if total else 0.0,
         }
@@ -229,6 +275,7 @@ class DiskCache:
         self.stores = 0
         self.evictions = 0
         self.errors = 0
+        self.corruptions = 0
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -236,6 +283,30 @@ class DiskCache:
             f"DiskCache({self.root!r}, hits={s['hits']}, "
             f"misses={s['misses']}, entries={s['entries']})"
         )
+
+
+def _mangle_entry(path: str, mode: str) -> None:
+    """Damage an on-disk entry (fault injection only).
+
+    ``corrupt`` flips one payload byte (caught by the checksum);
+    ``truncate`` halves the file (caught by header/length checks).
+    Missing files are left missing — the read path then just misses.
+    """
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return
+    if mode == "truncate":
+        blob = blob[: len(blob) // 2]
+    else:
+        pos = _HEADER_LEN if len(blob) > _HEADER_LEN else len(blob) // 2
+        if not blob:
+            return
+        pos = min(pos, len(blob) - 1)
+        blob = blob[:pos] + bytes([blob[pos] ^ 0xFF]) + blob[pos + 1:]
+    with open(path, "wb") as fh:
+        fh.write(blob)
 
 
 # -- module-level cache handle -------------------------------------------------
@@ -304,7 +375,8 @@ def disk_cache_stats() -> Dict[str, float]:
     if not enabled():
         return {
             "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
-            "errors": 0, "entries": 0, "hit_rate": 0.0, "enabled": False,
+            "errors": 0, "corruptions": 0, "entries": 0, "hit_rate": 0.0,
+            "enabled": False,
         }
     stats = get_cache().stats()
     stats["enabled"] = True
@@ -481,11 +553,13 @@ def options_fingerprint(options) -> str:
 
     ``scheduler`` is fingerprinted separately (it belongs to the
     front-end key); ``emit_trace`` *is* included because it changes the
-    generated program.
+    generated program.  ``budget`` is excluded: resource limits bound
+    *how long* compilation may take, never what a successful first-choice
+    compilation produces (degraded results are not cached at all).
     """
     fields = {}
     for name, value in sorted(vars(options).items()):
-        if name == "scheduler":
+        if name in ("scheduler", "budget"):
             continue
         if name == "tile_policy" and value is not None:
             value = value.render()

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.core import resilience
+from repro.core.resilience import StageBudget
 from repro.hw.spec import HardwareSpec
 from repro.ir.lower import LoweredKernel, lower
 from repro.sched.clustering import Clustering, conservative_clustering
@@ -117,18 +119,27 @@ def run_frontend(
     name: str = "kernel",
     hw: Optional[HardwareSpec] = None,
     scheduler_options: Optional[SchedulerOptions] = None,
+    budget: Optional[StageBudget] = None,
 ) -> FrontEnd:
     """Run lowering → dependences → clustering → scheduling once.
 
     ``outputs`` is the tensor-expression output (or sequence of outputs)
     accepted by :func:`repro.core.compiler.build`.
 
+    ``budget`` bounds each stage (wall clock + solver nodes); scheduling
+    additionally degrades down a ladder on typed failure — Pluto with
+    skewing → identity-only rows (no Pluto ILP) → the textual-order tree
+    (no ILP at all) — recording every rung on the active resilience
+    report.
+
     The result is memoized in the persistent disk cache
     (:mod:`repro.core.diskcache`) under a content digest of the IR, the
     hardware spec and the scheduler options: a warm process unpickles the
     finished front-end instead of re-running lowering, dependence
-    analysis and ILP scheduling.  Kernels that cannot be fingerprinted
-    compile normally and are simply not cached.
+    analysis and ILP scheduling.  Kernels that cannot be fingerprinted —
+    or whose schedule came from a fallback rung — compile normally and
+    are simply not cached (a later healthy run must not inherit a
+    degraded schedule).
     """
     from repro.core import diskcache
 
@@ -142,15 +153,29 @@ def run_frontend(
         cached.cache_key = key
         return cached
 
-    with perf.stage("frontend.lower"):
-        kernel = lower(outputs, name)
-    with perf.stage("frontend.deps"):
-        deps = compute_dependences(kernel)
-    with perf.stage("frontend.cluster"):
-        clustering = conservative_clustering(kernel, deps)
-    with perf.stage("frontend.schedule"):
-        master_tree = PolyScheduler(scheduler_options).schedule_kernel(
-            kernel, deps, clustering
+    with resilience.collect() as report:
+        events_before = len(report.events)
+        with perf.stage("frontend.lower"), resilience.stage_scope(
+            "frontend.lower", budget
+        ):
+            kernel = lower(outputs, name)
+        with perf.stage("frontend.deps"), resilience.stage_scope(
+            "frontend.deps", budget
+        ):
+            deps = compute_dependences(kernel)
+        with perf.stage("frontend.cluster"), resilience.stage_scope(
+            "frontend.cluster", budget
+        ):
+            clustering = conservative_clustering(kernel, deps)
+        with perf.stage("frontend.schedule"), resilience.stage_scope(
+            "frontend.schedule", budget
+        ):
+            master_tree = _schedule_with_ladder(
+                kernel, deps, clustering, scheduler_options
+            )
+        degraded = any(
+            e["kind"] in ("fallback", "gave_up")
+            for e in report.events[events_before:]
         )
 
     band_rows = _liveout_band_rows(master_tree, clustering)
@@ -167,8 +192,44 @@ def run_frontend(
         extents,
     )
     frontend.cache_key = key
-    diskcache.store(key, frontend)
+    if not degraded:
+        diskcache.store(key, frontend)
     return frontend
+
+
+def _schedule_with_ladder(
+    kernel: LoweredKernel,
+    deps: List[Dependence],
+    clustering: Clustering,
+    scheduler_options: SchedulerOptions,
+) -> DomainNode:
+    """The scheduling rungs: Pluto → identity-only → textual order.
+
+    The middle rung disables skewing (no Pluto ILP rows) but still runs
+    the exact legality checks; the last rung is the Fig. 3(b) textual
+    order, which needs no solver and is legal by construction.
+    """
+    no_skew = SchedulerOptions(
+        enable_skewing=False,
+        max_coefficient=scheduler_options.max_coefficient,
+        identity_fast_path=True,
+    )
+    return resilience.with_fallback(
+        "frontend.schedule",
+        (
+            "pluto",
+            lambda: PolyScheduler(scheduler_options).schedule_kernel(
+                kernel, deps, clustering
+            ),
+        ),
+        (
+            "identity-only",
+            lambda: PolyScheduler(no_skew).schedule_kernel(
+                kernel, deps, clustering
+            ),
+        ),
+        ("sequence-order", lambda: PolyScheduler(no_skew).initial_tree(kernel)),
+    )
 
 
 def _frontend_cache_key(

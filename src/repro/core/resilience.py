@@ -1,0 +1,357 @@
+"""Budgets, deadlines and the graceful-degradation ladder.
+
+Three mechanisms live here, glued to the taxonomy in
+:mod:`repro.core.errors`:
+
+**Stage budgets** (:class:`StageBudget`).  ``AkgOptions`` carries one;
+:func:`stage_scope` pushes a wall-clock deadline for the duration of a
+pipeline stage, and long-running loops (ILP branch-and-bound,
+Fourier–Motzkin elimination, the auto-tiling search) call
+:func:`check_deadline` cooperatively.  A pathological kernel therefore
+raises :class:`~repro.core.errors.StageTimeoutError` instead of hanging
+the process.  ``solver_nodes`` caps branch-and-bound nodes per solve and
+``fm_constraints`` caps the intermediate system size during projection.
+
+**Resilience reports** (:class:`ResilienceReport`).  Every degradation
+step taken anywhere in the pipeline is recorded as a plain-dict event on
+the innermost active report (pushed by :func:`collect`) and mirrored
+into process-global counters surfaced by ``perf.report()`` and
+``akgc --resilience-stats``.
+
+**The ladder** (:func:`with_fallback`).  Runs a primary strategy and, on
+a *typed* error only, steps down through progressively simpler
+fallbacks, recording each step.  Genuine bugs propagate unchanged; if
+every rung fails, the last typed error is re-raised so the CLI can map
+it to its exit code.
+
+Everything here is deliberately thread-unaware process-global state: the
+compiler is single-threaded per process (the parallel tuner uses
+*processes*), matching how perf counters already work.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError, StageTimeoutError
+
+__all__ = [
+    "StageBudget",
+    "stage_scope",
+    "check_deadline",
+    "active_stage",
+    "solver_node_budget",
+    "fm_constraint_budget",
+    "backdate_deadline",
+    "ResilienceReport",
+    "collect",
+    "active_report",
+    "note_event",
+    "with_fallback",
+    "resilience_stats",
+    "reset_resilience_stats",
+]
+
+
+class StageBudget:
+    """Resource limits for one pipeline stage.
+
+    ``stage_seconds``   wall-clock deadline per stage (None = unlimited);
+    ``solver_nodes``    branch-and-bound node cap per ILP solve
+                        (None = the solver's built-in default);
+    ``fm_constraints``  cap on the intermediate constraint-system size
+                        during Fourier–Motzkin projection (None = the
+                        eliminator's built-in default).
+    """
+
+    def __init__(
+        self,
+        stage_seconds: Optional[float] = None,
+        solver_nodes: Optional[int] = None,
+        fm_constraints: Optional[int] = None,
+    ):
+        self.stage_seconds = stage_seconds
+        self.solver_nodes = solver_nodes
+        self.fm_constraints = fm_constraints
+
+    def __repr__(self) -> str:
+        return (
+            f"StageBudget(stage_seconds={self.stage_seconds}, "
+            f"solver_nodes={self.solver_nodes}, "
+            f"fm_constraints={self.fm_constraints})"
+        )
+
+    def fingerprint(self) -> str:
+        """Stable rendering for the options fingerprint (cache keys)."""
+        return f"budget({self.stage_seconds},{self.solver_nodes},{self.fm_constraints})"
+
+
+# -- deadline stack ---------------------------------------------------------------
+#
+# Each entry is [stage_name, deadline_or_None, start_time].  A list (not a
+# tuple) so fault injection can backdate the deadline in place.
+
+_STAGES: List[List[Any]] = []
+
+# Budget currently in force (pushed alongside the outermost stage scope).
+_BUDGETS: List[StageBudget] = []
+
+
+def active_stage() -> Optional[str]:
+    """Name of the innermost active stage scope (None outside any stage)."""
+    return _STAGES[-1][0] if _STAGES else None
+
+
+def active_budget() -> Optional[StageBudget]:
+    return _BUDGETS[-1] if _BUDGETS else None
+
+
+@contextmanager
+def stage_scope(name: str, budget: Optional[StageBudget] = None):
+    """Run a pipeline stage under its wall-clock deadline.
+
+    ``budget=None`` inherits the innermost active budget, so deep layers
+    can open sub-scopes (a fresh deadline per ladder rung) without
+    re-threading options.
+    """
+    if budget is None:
+        budget = active_budget()
+    now = time.monotonic()
+    deadline = None
+    if budget is not None and budget.stage_seconds is not None:
+        deadline = now + budget.stage_seconds
+    _STAGES.append([name, deadline, now])
+    if budget is not None:
+        _BUDGETS.append(budget)
+    try:
+        yield
+    finally:
+        _STAGES.pop()
+        if budget is not None:
+            _BUDGETS.pop()
+
+
+def check_deadline() -> None:
+    """Cooperative deadline check — call from long-running solver loops.
+
+    Near-free when no deadline is active.  Checks *every* enclosing
+    stage scope so a nested ladder rung cannot outlive its parent stage.
+    """
+    if not _STAGES:
+        return
+    now = None
+    for name, deadline, start in _STAGES:
+        if deadline is None:
+            continue
+        if now is None:
+            now = time.monotonic()
+        if now > deadline:
+            raise StageTimeoutError(
+                "stage wall-clock deadline exceeded",
+                stage=name,
+                elapsed=now - start,
+            )
+
+
+def solver_node_budget(default: int) -> int:
+    """Branch-and-bound node cap: the active budget's, else ``default``."""
+    budget = active_budget()
+    if budget is not None and budget.solver_nodes is not None:
+        return budget.solver_nodes
+    return default
+
+
+def fm_constraint_budget(default: int) -> int:
+    """FM intermediate-system cap: the active budget's, else ``default``."""
+    budget = active_budget()
+    if budget is not None and budget.fm_constraints is not None:
+        return budget.fm_constraints
+    return default
+
+
+def backdate_deadline() -> bool:
+    """Force the innermost deadline into the past (fault injection only).
+
+    Models a stage overrunning its budget without actually sleeping: the
+    next :func:`check_deadline` raises, exercising the real timeout
+    path.  Returns False when no deadline is active to backdate.
+    """
+    for frame in reversed(_STAGES):
+        if frame[1] is not None:
+            frame[1] = time.monotonic() - 1.0
+            return True
+    return False
+
+
+# -- reports & counters -----------------------------------------------------------
+
+# Process-global totals across all compilations (mirrors perf counters).
+_TOTALS: Dict[str, int] = {}
+
+
+class ResilienceReport:
+    """Degradation events recorded during one compilation.
+
+    Events are plain dicts (picklable, JSON-able):
+    ``{"stage", "kind", "fallback", "error", "detail"}`` where ``kind``
+    is ``fallback`` (a ladder rung was taken), ``recovered`` (a
+    transient failure was absorbed, e.g. a corrupt cache entry or a
+    tuner worker retry) or ``gave_up`` (every rung failed).
+    """
+
+    def __init__(self):
+        self.events: List[Dict[str, Any]] = []
+
+    def add(
+        self,
+        stage: str,
+        kind: str,
+        fallback: Optional[str] = None,
+        error: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        event: Dict[str, Any] = {"stage": stage, "kind": kind}
+        if fallback is not None:
+            event["fallback"] = fallback
+        if error is not None:
+            event["error"] = error
+        if detail is not None:
+            event["detail"] = detail
+        self.events.append(event)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback was taken (the result is not the
+        first-choice compilation and must not be disk-cached)."""
+        return any(e["kind"] in ("fallback", "gave_up") for e in self.events)
+
+    def summary(self) -> List[str]:
+        lines = []
+        for e in self.events:
+            line = f"{e['stage']}: {e['kind']}"
+            if e.get("fallback"):
+                line += f" -> {e['fallback']}"
+            if e.get("error"):
+                line += f" ({e['error']})"
+            lines.append(line)
+        return lines
+
+    def __repr__(self) -> str:
+        return f"ResilienceReport({len(self.events)} events)"
+
+
+_REPORTS: List[ResilienceReport] = []
+
+
+def active_report() -> Optional[ResilienceReport]:
+    return _REPORTS[-1] if _REPORTS else None
+
+
+@contextmanager
+def collect():
+    """Collect degradation events into a fresh report.
+
+    Nested ``collect()`` scopes share the outermost report, so helper
+    entry points (``backend_build`` called from ``build``) do not shear
+    events into separate reports.
+    """
+    if _REPORTS:
+        yield _REPORTS[-1]
+        return
+    report = ResilienceReport()
+    _REPORTS.append(report)
+    try:
+        yield report
+    finally:
+        _REPORTS.pop()
+
+
+def note_event(
+    stage: str,
+    kind: str,
+    fallback: Optional[str] = None,
+    error: Optional[str] = None,
+    detail: Optional[str] = None,
+    dedupe: bool = False,
+) -> None:
+    """Record a degradation event on the active report + global counters.
+
+    ``dedupe=True`` still bumps the global counter but appends to the
+    report only if an identical event is not already present (for
+    per-tile events that would otherwise flood the report).
+    """
+    key = f"{stage}.{kind}" if fallback is None else f"{stage}.{kind}:{fallback}"
+    _TOTALS[key] = _TOTALS.get(key, 0) + 1
+    report = active_report()
+    if report is None:
+        return
+    if dedupe:
+        probe = {"stage": stage, "kind": kind}
+        if fallback is not None:
+            probe["fallback"] = fallback
+        if error is not None:
+            probe["error"] = error
+        if detail is not None:
+            probe["detail"] = detail
+        if probe in report.events:
+            return
+    report.add(stage, kind, fallback=fallback, error=error, detail=detail)
+
+
+def resilience_stats() -> Dict[str, int]:
+    """Process-global degradation counters (for ``perf.report()``)."""
+    return dict(_TOTALS)
+
+
+def reset_resilience_stats() -> None:
+    _TOTALS.clear()
+
+
+# -- the ladder -------------------------------------------------------------------
+
+
+def with_fallback(
+    stage: str,
+    primary: Tuple[str, Callable[[], Any]],
+    *fallbacks: Tuple[str, Callable[[], Any]],
+) -> Any:
+    """Run ``primary`` and, on typed failure, step down the ladder.
+
+    Each strategy is a ``(label, thunk)`` pair.  Only
+    :class:`~repro.core.errors.ReproError` triggers the next rung —
+    genuine bugs (``IndexError`` and friends) propagate immediately.
+    Each rung below the primary runs under a *fresh* deadline scope (the
+    primary may have burnt the whole stage budget before failing; the
+    fallback still deserves its own allotment).  Every step taken is
+    recorded via :func:`note_event`; if all rungs fail, the last typed
+    error is re-raised.
+    """
+    strategies = (primary,) + fallbacks
+    last_error: Optional[ReproError] = None
+    for index, (label, thunk) in enumerate(strategies):
+        try:
+            if index == 0:
+                return thunk()
+            # Fallback rung: fresh deadline, inherited budget.
+            with stage_scope(f"{stage}[{label}]"):
+                result = thunk()
+            note_event(
+                stage,
+                "fallback",
+                fallback=label,
+                error=type(last_error).__name__ if last_error else None,
+                detail=str(last_error) if last_error else None,
+            )
+            return result
+        except ReproError as exc:
+            last_error = exc
+    note_event(
+        stage,
+        "gave_up",
+        error=type(last_error).__name__ if last_error else None,
+        detail=str(last_error) if last_error else None,
+    )
+    assert last_error is not None
+    raise last_error

@@ -26,9 +26,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core import resilience
+from repro.core.errors import FusionError
 from repro.ir.lower import LoweredKernel, PolyStatement
 from repro.poly.affine import AffineExpr
 from repro.poly.maps import BasicMap
+from repro.tools import faultinject
 from repro.sched.clustering import Clustering
 from repro.sched.deps import Dependence
 from repro.sched.tree import (
@@ -137,7 +140,9 @@ def _group_filters(tree: DomainNode) -> List[FilterNode]:
         return [c for c in body.children if isinstance(c, FilterNode)]
     if isinstance(body, FilterNode):
         return [body]
-    raise ValueError("unexpected scheduled tree shape")
+    raise FusionError(
+        "unexpected scheduled tree shape", stage=resilience.active_stage()
+    )
 
 
 def _eligible_producers(
@@ -178,6 +183,7 @@ def apply_post_tiling_fusion(
     tree has the Fig. 3(e) shape; the returned groups list the resulting
     tile nests in execution order (unfused producers first).
     """
+    faultinject.fire("fusion.posttile")
     filters = _group_filters(tree)
     liveout_ids = [
         s.stmt_id for ci in sorted(clustering.live_out) for s in clustering.clusters[ci]
@@ -187,7 +193,9 @@ def apply_post_tiling_fusion(
     )
     band = liveout_filter.child
     if not isinstance(band, BandNode):
-        raise ValueError("live-out filter must start with a band")
+        raise FusionError(
+            "live-out filter must start with a band", stage=resilience.active_stage()
+        )
     sizes = list(tile_sizes)
     if len(sizes) < band.n_rows:
         sizes = sizes + [1 << 30] * (band.n_rows - len(sizes))
@@ -356,7 +364,10 @@ def _row_extent(row: AffineExpr, stmt: PolyStatement) -> int:
     hi = problem.maximize(row, integer=True)
     lo = problem.minimize(row, integer=True)
     if hi.status is not IlpStatus.OPTIMAL or lo.status is not IlpStatus.OPTIMAL:
-        raise ValueError("band row unbounded over the statement domain")
+        raise FusionError(
+            "band row unbounded over the statement domain",
+            stage=resilience.active_stage(),
+        )
     return int(hi.value - lo.value) + 1
 
 
@@ -387,7 +398,9 @@ def tile_single_group(
     while band is not None and not isinstance(band, BandNode):
         band = band.child
     if not isinstance(band, BandNode):
-        raise ValueError("group filter has no band to tile")
+        raise FusionError(
+            "group filter has no band to tile", stage=resilience.active_stage()
+        )
     stmts = [stmt_by_id[sid] for sid in f.stmt_ids]
     if sizes is None:
         sizes = [1 << 30] * band.n_rows

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.core import resilience
+from repro.core.errors import SolverBudgetError
 from repro.poly.affine import AffineExpr, Constraint
+from repro.tools import faultinject
+
+# Intermediate-system size above which projection is declared runaway
+# (each FM step can square the inequality count; systems here stay tiny,
+# so reaching this means combinatorial blow-up, not genuine hardness).
+# Per-stage budgets may lower it via StageBudget.fm_constraints.
+MAX_FM_CONSTRAINTS = 20000
 
 
 def eliminate_variable(
@@ -78,14 +87,23 @@ def project_onto(
     cached = FM_CACHE.lookup(key)
     if cached is not None:
         return list(cached)
+    faultinject.fire("fm.eliminate")
     keep_set = set(keep)
     current = list(constraints)
     to_remove = sorted(
         {v for c in current for v in c.variables() if v not in keep_set}
     )
+    max_constraints = resilience.fm_constraint_budget(MAX_FM_CONSTRAINTS)
     for name in to_remove:
+        resilience.check_deadline()
         current = eliminate_variable(current, name)
         current = remove_redundant(current)
+        if len(current) > max_constraints:
+            raise SolverBudgetError(
+                f"Fourier-Motzkin system exploded past {max_constraints} "
+                f"constraints while eliminating {name!r}",
+                stage=resilience.active_stage(),
+            )
     FM_CACHE.store(key, current)
     return list(current)
 

@@ -20,7 +20,10 @@ from enum import Enum
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import resilience
+from repro.core.errors import SolverBudgetError
 from repro.poly.affine import AffineExpr, Constraint
+from repro.tools import faultinject
 
 
 class IlpStatus(Enum):
@@ -106,6 +109,7 @@ class IlpProblem:
         return IlpResult(result.status, result.value, dict(result.assignment))
 
     def _minimize_uncached(self, objective: AffineExpr, integer: bool) -> IlpResult:
+        faultinject.fire("ilp.solve")
         constraints, back_subst = _presolve_system(self.constraints)
         objective = _apply_back_substitutions(objective, back_subst)
         return _solve_presolved(constraints, objective, back_subst, integer)
@@ -537,10 +541,16 @@ def _branch_and_bound(
     best: Optional[IlpResult] = None
     stack: List[List[Constraint]] = [list(constraints)]
     nodes = 0
+    max_nodes = resilience.solver_node_budget(IlpProblem.MAX_BB_NODES)
     while stack:
         nodes += 1
-        if nodes > IlpProblem.MAX_BB_NODES:
-            raise RuntimeError("branch-and-bound node budget exhausted")
+        if nodes > max_nodes:
+            raise SolverBudgetError(
+                f"branch-and-bound node budget exhausted ({max_nodes} nodes)",
+                stage=resilience.active_stage(),
+            )
+        if nodes % 64 == 0:
+            resilience.check_deadline()
         current = stack.pop()
         relax = _simplex_solve(current, objective, names)
         if relax.status is IlpStatus.INFEASIBLE:

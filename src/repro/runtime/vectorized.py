@@ -35,6 +35,13 @@ Anything unclassifiable -- data-dependent indexing, non-identity writes,
 foreign iterators, unknown ops -- falls back to the scalar interpreter,
 so correctness never regresses.  Fallbacks are counted
 (:func:`exec_stats`) and timed (``exec.*`` perf stages).
+
+The fallback trigger is *typed*: only
+:class:`~repro.core.errors.ExecutionFallbackError` (whose concrete shape
+here is :class:`Unvectorizable`) routes to the scalar engine.  A genuine
+bug -- an ``IndexError`` from a mis-built plan, a ``TypeError`` in the
+evaluator -- propagates to the caller instead of being silently absorbed
+into the scalar path.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro.core.errors import ExecutionFallbackError
 from repro.ir.expr import (
     BinaryOp,
     Cast,
@@ -61,7 +69,7 @@ from repro.ir.lower import PolyStatement, expr_to_affine
 from repro.poly.affine import AffineExpr
 from repro.runtime import reference
 from repro.runtime.reference import AUTO_VECTORIZE_MIN_INSTANCES, numpy_dtype
-from repro.tools import perf
+from repro.tools import faultinject, perf
 
 __all__ = [
     "Unvectorizable",
@@ -74,8 +82,13 @@ __all__ = [
 ]
 
 
-class Unvectorizable(Exception):
-    """The statement (or one dynamic execution of it) cannot vectorize."""
+class Unvectorizable(ExecutionFallbackError):
+    """The statement (or one dynamic execution of it) cannot vectorize.
+
+    Part of the error taxonomy: engine-selection code catches the
+    :class:`~repro.core.errors.ExecutionFallbackError` base, which also
+    covers faults injected at the ``exec.vectorized`` site.
+    """
 
     def __init__(self, reason: str):
         super().__init__(reason)
@@ -115,7 +128,14 @@ def note_vectorized(seconds: float) -> None:
 
 def note_scalar_fallback(reason: str, seconds: float) -> None:
     """Credit one scalar-fallback statement execution."""
+    from repro.core import resilience
+
     _note_fallback(reason)
+    # One report event per distinct reason (fallbacks recur per tile;
+    # the per-reason counters above carry the multiplicity).
+    resilience.note_event(
+        "exec", "fallback", fallback="scalar", detail=reason, dedupe=True
+    )
     perf.add("exec.scalar_fallback", seconds)
 
 
@@ -626,11 +646,16 @@ def run_statement(
         return
     start = time.perf_counter()
     try:
+        # Typed trigger only: ExecutionFallbackError covers Unvectorizable
+        # and injected exec.vectorized faults; anything else is a bug and
+        # propagates.
+        faultinject.fire("exec.vectorized")
         plan = plan_for(stmt)
         run_full(plan, buffers)
-    except Unvectorizable as exc:
+    except ExecutionFallbackError as exc:
         fb_start = time.perf_counter()
         reference.run_statement(stmt, buffers)
-        note_scalar_fallback(exc.reason, time.perf_counter() - fb_start)
+        reason = getattr(exc, "reason", None) or str(exc)
+        note_scalar_fallback(reason, time.perf_counter() - fb_start)
         return
     note_vectorized(time.perf_counter() - start)

@@ -26,9 +26,11 @@ import itertools
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core import resilience
 from repro.ir.lower import LoweredKernel, PolyStatement
 from repro.poly.affine import AffineExpr, Constraint
 from repro.poly.ilp import IlpProblem, IlpStatus
+from repro.tools import faultinject
 from repro.sched.clustering import Clustering, conservative_clustering
 from repro.sched.deps import Dependence, compute_dependences
 from repro.sched.tree import (
@@ -189,6 +191,7 @@ class PolyScheduler:
         permutable = True
 
         for pos in range(depth):
+            resilience.check_deadline()
             candidate = {
                 s.stmt_id: AffineExpr.variable(s.iter_names[pos]) for s in cluster
             }
@@ -270,6 +273,7 @@ class PolyScheduler:
         Pluto restriction); linear independence from previous rows is
         enforced by requiring a not-yet-leading dimension to carry weight.
         """
+        faultinject.fire("sched.pluto_row")
         problem = IlpProblem()
         coeff_vars: Dict[Tuple[str, str], str] = {}
         const_vars: Dict[str, str] = {}

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core import resilience
+from repro.core.errors import CodegenError
 from repro.fusion.intratile import UnitAssignment
 from repro.fusion.posttile import TiledGroup
 from repro.hw.spec import HardwareSpec
@@ -87,7 +89,9 @@ class DataMove:
         chunked: bool = False,
     ):
         if direction not in ("in", "out", "bounce"):
-            raise ValueError(f"bad direction {direction!r}")
+            raise CodegenError(
+                f"bad DMA direction {direction!r}", stage=resilience.active_stage()
+            )
         self.tensor_name = tensor_name
         self.src = src
         self.dst = dst
@@ -266,6 +270,9 @@ def plan_storage(
     double_buffered: bool = True,
 ) -> StoragePlan:
     """Compute the storage plan of one tiled group."""
+    from repro.tools import faultinject
+
+    faultinject.fire("storage.promote")
     output_names = {t.name for t in kernel.outputs}
     input_names = {t.name for t in kernel.inputs}
     group_ids = {s.stmt_id for s in group.statements}

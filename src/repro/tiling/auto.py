@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import resilience
+from repro.core.errors import TilingError
 from repro.hw.spec import HardwareSpec
 from repro.tiling.spec import StatementSpec, TileSpec, TilingPolicy
+from repro.tools import faultinject
 
 
 class TileEvaluator:
@@ -159,15 +162,20 @@ class AutoTiler:
 
     def search(self) -> List[int]:
         """Return the selected tile sizes (one per band dimension)."""
+        faultinject.fire("tiling.auto_search")
         sizes = list(self.extents)
         ladders = [self._ladder(e) for e in self.extents]
 
         # Phase 1: shrink until the tile fits on chip.
         guard = 0
         while not self.fits(sizes):
+            resilience.check_deadline()
             guard += 1
             if guard > 256:
-                raise RuntimeError("auto-tiling failed to fit the buffers")
+                raise TilingError(
+                    "auto-tiling failed to fit the buffers",
+                    stage=resilience.active_stage(),
+                )
             # Shrink the dimension whose halving costs least on the data-
             # movement metric (this naturally protects the contiguous
             # innermost dimension, whose shrinking multiplies DMA bursts).
@@ -182,8 +190,9 @@ class AutoTiler:
                 if best is None or candidate < best:
                     best = candidate
             if best is None:
-                raise RuntimeError(
-                    "auto-tiling cannot satisfy buffer capacities at size 1"
+                raise TilingError(
+                    "auto-tiling cannot satisfy buffer capacities at size 1",
+                    stage=resilience.active_stage(),
                 )
             dim = best[2]
             sizes[dim] = self._shrink(sizes[dim], ladders[dim])
@@ -191,6 +200,7 @@ class AutoTiler:
         # Phase 2: greedy hill-climb on the movement metric.
         improved = True
         while improved:
+            resilience.check_deadline()
             improved = False
             best_cost = self.cost(sizes)
             for dim in range(len(sizes)):

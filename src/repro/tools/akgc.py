@@ -87,6 +87,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sync", default="dp", choices=["dp", "empirical", "naive"])
     parser.add_argument("--perf", action="store_true",
                         help="print per-stage compile timings + solver cache stats")
+    parser.add_argument("--stage-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per pipeline stage; "
+                             "exceeded -> exit code 4 (StageTimeoutError)")
+    parser.add_argument("--solver-budget", type=int, default=None,
+                        metavar="NODES",
+                        help="ILP branch-and-bound node budget per solve; "
+                             "exhausted -> exit code 3 (SolverBudgetError)")
+    parser.add_argument("--resilience-stats", action="store_true",
+                        help="print the degradation ladder report (which "
+                             "fallback rungs fired, if any) after the build")
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="persistent compilation cache directory "
                              "(overrides REPRO_CACHE_DIR)")
@@ -103,6 +114,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.core import diskcache
     from repro.core.compiler import AkgOptions, build
+    from repro.core.errors import ReproError, exit_code_for
+    from repro.core.resilience import StageBudget
     from repro.poly.cache import reset_solver_cache_stats
     from repro.tools import perf
 
@@ -115,13 +128,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     reset_solver_cache_stats()
     diskcache.reset_disk_cache_stats()
     out = _build_kernel(args)
+    budget = None
+    if args.stage_timeout is not None or args.solver_budget is not None:
+        budget = StageBudget(
+            stage_seconds=args.stage_timeout,
+            solver_nodes=args.solver_budget,
+        )
     options = AkgOptions(
         tile_policy=args.tile_policy,
         post_tiling_fusion=not args.no_fusion,
         sync_policy=args.sync,
+        budget=budget,
     )
-    result = build(out, f"akgc_{args.op}", options=options)
-    report = result.simulate()
+    try:
+        result = build(out, f"akgc_{args.op}", options=options)
+        report = result.simulate()
+    except ReproError as exc:
+        print(f"akgc: {type(exc).__name__}: {exc}", file=sys.stderr)
+        print(f"akgc: {exc.action}", file=sys.stderr)
+        return exit_code_for(exc)
 
     print(f"kernel        : {args.op} {args.shape} {args.dtype}")
     print(f"tile sizes    : {result.tile_sizes}")
@@ -132,6 +157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for plan in result.plans:
         print(f"buffers       : {plan.utilization()}")
 
+    if args.resilience_stats:
+        print("\n=== resilience report ===")
+        lines = result.resilience.summary()
+        print("\n".join(lines) if lines else "no degradation events")
     if args.perf:
         print("\n=== compile-time breakdown ===")
         print(perf.format_report())

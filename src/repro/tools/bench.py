@@ -379,6 +379,166 @@ def _format_exec_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+# -- the chaos sweep -----------------------------------------------------------
+#
+# One single-fault scenario at a time, over a catalog of small kernels:
+# compile with fault injection active, then replay the compiled program.
+# Every (scenario, kernel) cell must end in one of exactly two states —
+# a successful build whose vectorized replay is *bit-identical* to the
+# same program's scalar-oracle replay (possibly via recorded degradation
+# ladder rungs), or a typed :class:`~repro.core.errors.ReproError`.  An
+# untyped exception, an output mismatch, or a hang is a chaos failure.
+
+
+#: Every scenario injects one fault site persistently (no #limit), which
+#: is the harshest setting: retry-shaped code cannot out-wait the fault,
+#: it must degrade or fail typed.
+CHAOS_SCENARIOS: Tuple[str, ...] = (
+    "ilp.solve:error",
+    "ilp.solve:error@frontend.schedule",
+    "ilp.solve:delay",
+    "fm.eliminate:error",
+    "sched.pluto_row:error",
+    "tiling.auto_search:error",
+    "fusion.posttile:error",
+    "storage.promote:error",
+    "diskcache.read:corrupt",
+    "exec.vectorized:error",
+)
+
+
+def _chaos_kernels(quick: bool) -> Dict[str, Callable[[], object]]:
+    """Small kernels (scalar replay must stay cheap: it runs per cell)."""
+    from repro.ir import ops
+    from repro.ir.tensor import placeholder
+
+    def relu():
+        x = placeholder((16, 24), "fp16", name="X")
+        return ops.relu(x, name="out")
+
+    def add_relu():
+        x = placeholder((16, 16), "fp16", name="X")
+        y = placeholder((16, 16), "fp16", name="Y")
+        return ops.relu(ops.add(x, y, name="s"), name="out")
+
+    def matmul():
+        a = placeholder((12, 10), "fp32", name="A")
+        b = placeholder((10, 8), "fp32", name="B")
+        return ops.matmul(a, b, name="out")
+
+    def conv2d():
+        d = placeholder((1, 4, 8, 8), "fp16", name="D")
+        w = placeholder((4, 4, 3, 3), "fp16", name="W")
+        return ops.conv2d(d, w, stride=(1, 1), padding=(1, 1), name="out")
+
+    kernels = {"relu": relu, "matmul": matmul}
+    if not quick:
+        kernels.update({"add_relu": add_relu, "conv2d": conv2d})
+    return kernels
+
+
+def _chaos_cell(
+    builder: Callable[[], object],
+    name: str,
+    spec: str,
+    inputs: Dict[str, object],
+) -> Dict[str, object]:
+    """One (scenario, kernel) cell; always returns, never hangs silently."""
+    import numpy as np
+
+    from repro.core.compiler import AkgOptions, build
+    from repro.core.errors import ReproError
+    from repro.core.resilience import StageBudget
+    from repro.tools import faultinject
+
+    # A generous deadline exists so ``delay`` faults (which backdate it)
+    # have something to trip; healthy stages never come near it.
+    options = AkgOptions(
+        emit_trace=True, budget=StageBudget(stage_seconds=120.0)
+    )
+    cell: Dict[str, object] = {"outcome": "?", "degraded": False, "events": 0}
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        try:
+            clear_solver_caches()
+            if spec.startswith("diskcache.read"):
+                # The read-corruption scenario needs entries to corrupt:
+                # one healthy build populates the isolated cache first.
+                build(builder(), name, options=options)
+                clear_solver_caches()
+            t0 = time.perf_counter()
+            try:
+                with faultinject.inject(spec):
+                    result = build(builder(), name, options=options)
+                    got = result.execute(inputs, engine="auto")
+                    ref = result.execute(inputs, engine="scalar")
+            except ReproError as exc:
+                cell["outcome"] = f"typed:{type(exc).__name__}"
+            except Exception as exc:  # noqa: BLE001 - the chaos verdict
+                cell["outcome"] = f"UNTYPED:{type(exc).__name__}"
+            else:
+                exact = all(np.array_equal(ref[k], got[k]) for k in ref)
+                cell["outcome"] = "ok" if exact else "MISMATCH"
+                cell["degraded"] = bool(result.resilience.degraded)
+                cell["events"] = len(result.resilience.events)
+            cell["seconds"] = time.perf_counter() - t0
+        finally:
+            diskcache.set_cache_dir(None)
+    cell["acceptable"] = cell["outcome"] == "ok" or str(
+        cell["outcome"]
+    ).startswith("typed:")
+    return cell
+
+
+def run_chaos_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """The full scenario x kernel sweep; ``all_acceptable`` is the verdict."""
+    kernels = _chaos_kernels(quick)
+    results: Dict[str, Dict[str, object]] = {}
+    inputs_by_kernel: Dict[str, Dict[str, object]] = {}
+    from repro.ir.lower import lower
+
+    for kname, builder in kernels.items():
+        inputs_by_kernel[kname] = _random_inputs(
+            lower(builder(), f"chaos_{kname}"), seed
+        )
+
+    all_ok = True
+    for spec in CHAOS_SCENARIOS:
+        row: Dict[str, object] = {}
+        for kname, builder in kernels.items():
+            cell = _chaos_cell(
+                builder, f"chaos_{kname}", spec, inputs_by_kernel[kname]
+            )
+            row[kname] = cell
+            all_ok = all_ok and cell["acceptable"]
+        results[spec] = row
+
+    return {
+        "benchmark": "chaos",
+        "config": {"quick": quick, "seed": seed},
+        "scenarios": results,
+        "all_acceptable": all_ok,
+    }
+
+
+def _format_chaos_table(report: Dict[str, object]) -> str:
+    kernels = list(next(iter(report["scenarios"].values())).keys())
+    header = f"{'scenario':<36}" + "".join(f"{k:>28}" for k in kernels)
+    lines = [header, "-" * len(header)]
+    for spec, row in report["scenarios"].items():
+        cells = []
+        for k in kernels:
+            cell = row[k]
+            text = str(cell["outcome"])
+            if cell.get("degraded"):
+                text += " (degraded)"
+            cells.append(f"{text:>28}")
+        lines.append(f"{spec:<36}" + "".join(cells))
+    verdict = "PASS" if report["all_acceptable"] else "FAIL"
+    lines.append(f"chaos verdict: {verdict} (every cell must be ok/typed:*)")
+    return "\n".join(lines)
+
+
 # -- the cold-vs-warm disk-cache benchmark ------------------------------------
 #
 # Each measurement runs in a freshly *spawned* process so "warm" means
@@ -593,10 +753,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the scalar-vs-vectorized execution benchmark instead",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the single-fault chaos sweep instead (exit 1 if any "
+             "scenario hangs, mismatches, or dies untyped)",
+    )
+    parser.add_argument(
         "--out", default=None,
-        help="output JSON path (default BENCH_pipeline.json, "
-             "BENCH_diskcache.json with --diskcache, or BENCH_exec.json "
-             "with --exec)",
+        help="output JSON path (default BENCH_pipeline.json; "
+             "BENCH_diskcache.json with --diskcache, BENCH_exec.json "
+             "with --exec, BENCH_chaos.json with --chaos)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
@@ -604,8 +769,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out = "BENCH_exec.json"
         elif args.diskcache:
             args.out = "BENCH_diskcache.json"
+        elif args.chaos:
+            args.out = "BENCH_chaos.json"
         else:
             args.out = "BENCH_pipeline.json"
+
+    if args.chaos:
+        report = run_chaos_suite(quick=args.quick, seed=args.seed)
+        print(_format_chaos_table(report))
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+        return 0 if report["all_acceptable"] else 1
 
     if args.exec_suite:
         report = run_exec_suite(quick=args.quick, seed=args.seed)

@@ -60,6 +60,7 @@ def reset() -> None:
 def report() -> Dict[str, Dict[str, float]]:
     """Snapshot: stage timings plus solver/disk-cache and engine counters."""
     from repro.core.diskcache import disk_cache_stats
+    from repro.core.resilience import resilience_stats
     from repro.poly.cache import solver_cache_stats
     from repro.runtime.vectorized import exec_stats
 
@@ -71,6 +72,7 @@ def report() -> Dict[str, Dict[str, float]]:
         "solver_cache": solver_cache_stats(),
         "disk_cache": disk_cache_stats(),
         "exec": exec_stats(),
+        "resilience": resilience_stats(),
     }
 
 
@@ -111,4 +113,9 @@ def format_report() -> str:
         )
         for reason, count in sorted(e["fallback_reasons"].items()):
             lines.append(f"  fallback [{reason}]: {count}")
+    r = data["resilience"]
+    if r:
+        lines.append("resilience events:")
+        for key, count in sorted(r.items()):
+            lines.append(f"  {key}: {count}")
     return "\n".join(lines)

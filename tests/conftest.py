@@ -12,6 +12,7 @@ Every test gets its own ``REPRO_CACHE_DIR`` under pytest's tmpdir, so
 import pytest
 
 from repro.core import diskcache
+from repro.tools import faultinject
 
 
 @pytest.fixture(autouse=True)
@@ -24,3 +25,13 @@ def _isolated_disk_cache(tmp_path, monkeypatch):
     yield
     diskcache.set_cache_dir(None)
     diskcache.set_disk_cache_enabled(True)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_spec(monkeypatch):
+    """No test inherits fault injection from the environment or a
+    neighbour that forgot to clear a programmatic spec."""
+    monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+    faultinject.set_spec(None)
+    yield
+    faultinject.set_spec(None)

@@ -104,7 +104,8 @@ class TestKillSwitches:
         assert diskcache.load(key) is None
         assert diskcache.disk_cache_stats() == {
             "hits": 0, "misses": 0, "stores": 0, "evictions": 0,
-            "errors": 0, "entries": 0, "hit_rate": 0.0, "enabled": False,
+            "errors": 0, "corruptions": 0, "entries": 0, "hit_rate": 0.0,
+            "enabled": False,
         }
         monkeypatch.delenv("REPRO_NO_DISK_CACHE")
         assert diskcache.enabled()

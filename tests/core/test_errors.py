@@ -1,0 +1,105 @@
+"""The typed error taxonomy: hierarchy, context rendering, exit codes."""
+
+import pytest
+
+from repro.core.errors import (
+    EXIT_CODES,
+    CacheCorruptionError,
+    CodegenError,
+    ExecutionFallbackError,
+    FusionError,
+    ReproError,
+    SchedulingError,
+    SolverBudgetError,
+    StageTimeoutError,
+    TilingError,
+    error_classes,
+    exit_code_for,
+)
+
+ALL_CLASSES = (
+    ReproError,
+    SolverBudgetError,
+    StageTimeoutError,
+    SchedulingError,
+    TilingError,
+    FusionError,
+    CodegenError,
+    CacheCorruptionError,
+    ExecutionFallbackError,
+)
+
+
+class TestHierarchy:
+    def test_every_class_is_a_repro_and_runtime_error(self):
+        # RuntimeError compatibility keeps pre-taxonomy catch sites (the
+        # tuner's measurement loop) working unchanged.
+        for klass in ALL_CLASSES:
+            assert issubclass(klass, ReproError)
+            assert issubclass(klass, RuntimeError)
+
+    def test_catching_the_base_catches_every_subclass(self):
+        for klass in ALL_CLASSES:
+            with pytest.raises(ReproError):
+                raise klass("boom")
+
+    def test_error_classes_map_is_complete(self):
+        assert set(error_classes()) == {k.__name__ for k in ALL_CLASSES}
+        assert error_classes()["TilingError"] is TilingError
+
+    def test_every_class_has_actionable_guidance(self):
+        for klass in ALL_CLASSES:
+            assert isinstance(klass.action, str) and klass.action
+
+
+class TestContext:
+    def test_str_without_context_is_just_the_message(self):
+        assert str(ReproError("plain failure")) == "plain failure"
+        assert ReproError("plain failure").context() == ""
+
+    def test_str_appends_stage_kernel_elapsed(self):
+        exc = SolverBudgetError(
+            "node budget exhausted",
+            stage="frontend.schedule",
+            kernel="matmul",
+            elapsed=1.25,
+        )
+        assert str(exc) == (
+            "node budget exhausted "
+            "[stage=frontend.schedule, kernel=matmul, elapsed=1.250s]"
+        )
+
+    def test_partial_context(self):
+        exc = TilingError("no fit", stage="backend.tile_fit")
+        assert "stage=backend.tile_fit" in str(exc)
+        assert "kernel=" not in str(exc)
+        assert exc.elapsed is None
+
+    def test_attributes_survive(self):
+        exc = StageTimeoutError("late", stage="s", kernel="k", elapsed=2.0)
+        assert (exc.message, exc.stage, exc.kernel, exc.elapsed) == (
+            "late", "s", "k", 2.0
+        )
+
+
+class TestExitCodes:
+    def test_codes_are_distinct_and_documented(self):
+        codes = list(EXIT_CODES.values())
+        assert len(codes) == len(set(codes))
+        assert 0 not in codes and 1 not in codes  # reserved
+
+    def test_most_derived_class_wins(self):
+        assert exit_code_for(SolverBudgetError("x")) == 3
+        assert exit_code_for(StageTimeoutError("x")) == 4
+        assert exit_code_for(ReproError("x")) == 2
+
+    def test_subclass_outside_the_table_inherits_its_parent_code(self):
+        from repro.runtime.vectorized import Unvectorizable
+
+        assert exit_code_for(Unvectorizable("op")) == (
+            EXIT_CODES[ExecutionFallbackError]
+        )
+
+    def test_untyped_errors_map_to_one(self):
+        assert exit_code_for(ValueError("x")) == 1
+        assert exit_code_for(RuntimeError("x")) == 1

@@ -1,0 +1,49 @@
+"""The chaos sweep: every single-fault scenario ends ok or typed.
+
+Marked ``chaos`` (deselected by default; ``pytest -m chaos`` or
+``scripts/check.sh`` runs it).  The full scenario x kernel matrix also
+runs as ``python -m repro.tools.bench --chaos``.
+"""
+
+import pytest
+
+from repro.tools import bench
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return bench.run_chaos_suite(quick=True)
+
+
+class TestChaosSweep:
+    def test_quick_sweep_is_all_acceptable(self, sweep):
+        report = sweep
+        failures = {
+            (spec, kernel): cell["outcome"]
+            for spec, row in report["scenarios"].items()
+            for kernel, cell in row.items()
+            if not cell["acceptable"]
+        }
+        assert report["all_acceptable"], failures
+
+    def test_sweep_covers_every_registered_fault_site(self):
+        from repro.tools import faultinject
+
+        swept = {spec.split(":")[0] for spec in bench.CHAOS_SCENARIOS}
+        # autotune.worker is exercised by the parallel-tuner death test,
+        # not the compile sweep (it needs a process pool).
+        assert swept == set(faultinject.SITES) - {"autotune.worker"}
+
+    def test_ladder_actually_fires_somewhere(self, sweep):
+        # The sweep must not pass vacuously: at least one cell recovers
+        # through a recorded degradation rather than failing typed.
+        report = sweep
+        degraded = [
+            (spec, kernel)
+            for spec, row in report["scenarios"].items()
+            for kernel, cell in row.items()
+            if cell.get("degraded")
+        ]
+        assert degraded
