@@ -33,6 +33,34 @@ python -m repro.tools.bench --chaos --quick --out /tmp/bench_chaos_smoke.json
 rm -f /tmp/bench_chaos_smoke.json
 
 echo
+echo "== network pipeline smoke (compile + batched replay) =="
+python -m repro.tools.bench --network --quick --out /tmp/bench_network_smoke.json
+python - <<'EOF'
+import json
+report = json.load(open("/tmp/bench_network_smoke.json"))
+for name, row in report["networks"].items():
+    assert row["bit_identical"], f"{name}: replay != scalar oracle"
+    assert not row["degraded"], f"{name}: plan degraded"
+    assert row["scalar_fallbacks"] == 0, f"{name}: vectorized replay fell back"
+    arena = row["arena"]
+    assert arena["planned_peak_bytes"] < arena["naive_peak_bytes"], (
+        f"{name}: arena planner saved nothing"
+    )
+print("network smoke ok:", ", ".join(report["networks"]))
+EOF
+rm -f /tmp/bench_network_smoke.json
+
+echo
+echo "== network degradation roll-up (mid-network subgraph fault) =="
+NET_CACHE_DIR="$(mktemp -d)"
+REPRO_FAULT_SPEC="tiling.auto_search:error" REPRO_CACHE_DIR="$NET_CACHE_DIR" \
+    python -m repro.tools.akgc --network alexnet_tiny --resilience-stats \
+    | tee /tmp/akgc_network_fault.txt
+grep -q "degraded      : yes" /tmp/akgc_network_fault.txt \
+    || { echo "FAIL: mid-network fault did not mark the plan degraded"; exit 1; }
+rm -rf "$NET_CACHE_DIR" /tmp/akgc_network_fault.txt
+
+echo
 echo "== typed CLI exit codes under injection =="
 set +e
 REPRO_FAULT_SPEC="ilp.solve:error" \

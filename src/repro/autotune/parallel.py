@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["ParallelMeasurer"]
+__all__ = ["ParallelMeasurer", "MultiKernelMeasurer"]
 
 # Worker-process state, populated once by the pool initializer.
 _WORKER_STATE: dict = {}
@@ -149,3 +149,151 @@ class ParallelMeasurer:
             # history stays bit-identical to a healthy parallel run.
             self._serial_fallback = True
         return [self._measure_serial(s) for s in batch]
+
+
+def _init_multi_worker(frontends) -> None:
+    _WORKER_STATE["frontends"] = frontends
+
+
+def _measure_multi_worker(task) -> Optional[float]:
+    """Compile + simulate one (kernel id, sizes) candidate in a worker."""
+    from repro.core.compiler import AkgOptions, backend_build
+    from repro.tools import faultinject
+
+    kid, sizes = task
+    faultinject.fire("autotune.worker")
+    try:
+        result = backend_build(
+            _WORKER_STATE["frontends"][kid], AkgOptions(tile_sizes=sizes)
+        )
+    except RuntimeError:
+        return None
+    return float(result.cycles())
+
+
+class MultiKernelMeasurer:
+    """One process pool measuring candidates for *many* kernels at once.
+
+    The graph pipeline tunes every unique subgraph of a network; spinning
+    up one :class:`ParallelMeasurer` pool per subgraph would pay the
+    worker-spawn cost N times and leave each pool idle while its tuner
+    thinks.  Here every worker holds *all* front-ends (shipped once via
+    the initializer, keyed by kernel id) and tasks are ``(kid, sizes)``
+    pairs, so concurrently running tuners share the same warm workers.
+
+    Thread-safe: per-kernel tuners drive :meth:`measure_batch` /
+    :meth:`measure_one` from separate threads; pool creation, teardown
+    and the retry ladder are serialized behind a lock while the
+    ``pool.map`` calls themselves overlap freely.  Degradation mirrors
+    :class:`ParallelMeasurer`: two pool attempts, then a permanent
+    serial fallback (still bit-identical results — each measurement is a
+    pure function of ``(frontend, sizes)``).
+    """
+
+    MAX_POOL_ATTEMPTS = 2
+    RETRY_BACKOFF_SECONDS = 0.05
+
+    def __init__(self, frontends: dict, workers: Optional[int] = None):
+        import threading
+
+        self.frontends = dict(frontends)
+        self.workers = workers
+        self._pool = None
+        self._serial_fallback = False
+        self._lock = threading.Lock()
+
+    # -- pool management ----------------------------------------------------
+
+    def _ensure_pool(self):
+        # Caller holds self._lock.
+        if self._pool is None:
+            import os
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = self.workers or min(os.cpu_count() or 1, 8)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_multi_worker,
+                initargs=(self.frontends,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "MultiKernelMeasurer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- measurement --------------------------------------------------------
+
+    def _measure_serial(self, kid, sizes: Sequence[int]) -> Optional[float]:
+        from repro.core.compiler import AkgOptions, backend_build
+
+        try:
+            result = backend_build(
+                self.frontends[kid], AkgOptions(tile_sizes=list(sizes))
+            )
+        except RuntimeError:
+            return None
+        return float(result.cycles())
+
+    def measure_one(self, kid, sizes: Sequence[int]) -> Optional[float]:
+        """Serial single-candidate measurement (AutoTuner's plain hook)."""
+        return self._measure_serial(kid, sizes)
+
+    def measure_batch(
+        self, kid, batch: Sequence[List[int]]
+    ) -> List[Optional[float]]:
+        """Measure one kernel's candidate batch on the shared pool."""
+        if not batch:
+            return []
+        if not self._serial_fallback and len(batch) > 1:
+            import time
+
+            from repro.core import resilience
+
+            delay = self.RETRY_BACKOFF_SECONDS
+            for attempt in range(self.MAX_POOL_ATTEMPTS):
+                try:
+                    with self._lock:
+                        pool = self._ensure_pool()
+                    return list(
+                        pool.map(
+                            _measure_multi_worker,
+                            [(kid, list(s)) for s in batch],
+                        )
+                    )
+                except Exception as exc:
+                    with self._lock:
+                        self._close_locked()
+                        if attempt + 1 < self.MAX_POOL_ATTEMPTS:
+                            resilience.note_event(
+                                "autotune.pool", "retry",
+                                error=type(exc).__name__,
+                                detail=(
+                                    "recreating shared pool "
+                                    f"(attempt {attempt + 2})"
+                                ),
+                            )
+                        else:
+                            resilience.note_event(
+                                "autotune.pool", "fallback",
+                                fallback="serial",
+                                error=type(exc).__name__,
+                                detail="pool attempts exhausted",
+                            )
+                            self._serial_fallback = True
+                    if attempt + 1 < self.MAX_POOL_ATTEMPTS:
+                        time.sleep(delay)
+                        delay *= 4.0
+        return [self._measure_serial(kid, s) for s in batch]

@@ -69,23 +69,14 @@ def execute_program(
     inputs: Mapping[str, np.ndarray],
     engine: str = "auto",
 ) -> Dict[str, np.ndarray]:
-    """Replay a compiled program; returns the kernel outputs by name."""
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if not program.trace:
-        raise TraceMissingError(
-            f"program {program.name!r} has no execution trace; compile with "
-            "emit_trace=True"
-        )
-    kernel: LoweredKernel = program.trace["kernel"]
-    groups: Sequence[TiledGroup] = program.trace["groups"]
+    """Replay a compiled program; returns the kernel outputs by name.
 
-    buffers = bind_inputs(kernel, inputs)
-    allocate_outputs(kernel, buffers)
-
-    for group in groups:
-        _run_group(group, buffers, engine)
-    return {t.name: buffers[t.name] for t in kernel.outputs}
+    One-shot convenience over :class:`ProgramReplay`: callers that replay
+    the same program repeatedly (the network plan's batched inference)
+    should construct one ``ProgramReplay`` and call :meth:`ProgramReplay.run`
+    per invocation, amortising the per-statement and per-tile setup.
+    """
+    return ProgramReplay(program, engine).run(inputs)
 
 
 class _ParametricBox:
@@ -185,9 +176,10 @@ class _StmtReplay:
         self.executed = executed  # bool dedup mask for fused producers
 
 
-def _run_group(
-    group: TiledGroup, buffers: Dict[str, np.ndarray], engine: str
-) -> None:
+def _prepare_replays(group: TiledGroup, engine: str) -> List[_StmtReplay]:
+    """Per-statement replay state (wrapped relation, parametric box,
+    membership rows, vectorization plan) — tile- and buffer-independent,
+    so one preparation serves any number of invocations."""
     replays: List[_StmtReplay] = []
     for stmt in group.statements:
         rel = group.instance_relations[stmt.stmt_id]
@@ -221,57 +213,194 @@ def _run_group(
         replays.append(
             _StmtReplay(stmt, wrapped, pbox, membership, plan, executed)
         )
+    return replays
 
-    tile_ranges = [range(c) for c in group.tile_counts]
-    vec_seconds = 0.0
-    vec_stmts = set()
-    for tile in itertools.product(*tile_ranges):
-        tile_env = dict(zip(group.tile_dims, tile))
-        for rep in replays:
-            box = rep.pbox.at(tile_env)
-            if box is None:
+
+class _TileStep:
+    """One (statement, tile) unit of a precomputed replay schedule."""
+
+    __slots__ = ("rep", "tile", "tile_env", "box", "mask")
+
+    def __init__(self, rep, tile, tile_env, box, mask):
+        self.rep = rep
+        self.tile = tile
+        self.tile_env = tile_env
+        self.box = box
+        self.mask = mask  # None = all-in; ndarray = filter (vec path only)
+
+
+class ProgramReplay:
+    """Reusable replay state for one compiled program.
+
+    Construction derives everything that does not depend on the input
+    values: per-statement wrapped relations, parametric boxes, membership
+    rows and vectorization plans, then the flat per-tile schedule
+    (concrete instance boxes and membership masks per tile).  ``run``
+    then only touches buffers, so replaying the program across a batch of
+    inputs pays the polyhedral setup once.
+
+    ``run`` accepts preallocated arrays for the tensors the program
+    writes (``out`` for kernel outputs, ``workspace`` for intermediates),
+    which is how the network plan backs every invocation with recycled
+    arena slots instead of fresh allocations.
+    """
+
+    def __init__(self, program: Program, engine: str = "auto"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if not program.trace:
+            raise TraceMissingError(
+                f"program {program.name!r} has no execution trace; compile "
+                "with emit_trace=True"
+            )
+        self.engine = engine
+        self.kernel: LoweredKernel = program.trace["kernel"]
+        self.groups: Sequence[TiledGroup] = program.trace["groups"]
+        self._group_replays = [
+            (group, _prepare_replays(group, engine)) for group in self.groups
+        ]
+        self._schedule: Optional[List[List[_TileStep]]] = None
+
+    # -- schedule construction (lazy: first run) ---------------------------
+
+    def _build_schedule(self) -> List[List[_TileStep]]:
+        schedule: List[List[_TileStep]] = []
+        for group, replays in self._group_replays:
+            steps: List[_TileStep] = []
+            tile_ranges = [range(c) for c in group.tile_counts]
+            for tile in itertools.product(*tile_ranges):
+                tile_env = dict(zip(group.tile_dims, tile))
+                for rep in replays:
+                    box = rep.pbox.at(tile_env)
+                    if box is None:
+                        continue
+                    mask = None
+                    if rep.plan is not None:
+                        mask = _membership_mask(rep.membership, tile, box)
+                        if mask is False:
+                            continue  # statically empty in this tile
+                    steps.append(_TileStep(rep, tile, tile_env, box, mask))
+            schedule.append(steps)
+        return schedule
+
+    def workspace_arrays(self) -> Dict[str, np.ndarray]:
+        """Fresh zeroed arrays for the program's intermediate tensors
+        (written but not kernel outputs); reusable across ``run`` calls
+        via the ``workspace`` argument."""
+        from repro.runtime.reference import numpy_dtype
+
+        outputs = {t.name for t in self.kernel.outputs}
+        inputs = {t.name for t in self.kernel.inputs}
+        arrays: Dict[str, np.ndarray] = {}
+        for stmt in self.kernel.statements:
+            t = stmt.tensor
+            if t.name in outputs or t.name in inputs or t.name in arrays:
                 continue
-            if rep.plan is not None:
-                start = time.perf_counter()
-                try:
-                    _run_tile_vectorized(rep, tile, box, buffers)
-                    vec_seconds += time.perf_counter() - start
-                    vec_stmts.add(rep.stmt.stmt_id)
-                    continue
-                except ExecutionFallbackError as exc:
-                    # e.g. a guarded read escaped its Select in this tile,
-                    # or an injected exec.vectorized fault; nothing was
-                    # written or recorded as executed yet.
-                    fb_start = time.perf_counter()
-                    _run_tile_scalar(rep, tile_env, box, buffers)
-                    vectorized.note_scalar_fallback(
-                        getattr(exc, "reason", None) or str(exc),
-                        time.perf_counter() - fb_start,
+            arrays[t.name] = np.zeros(t.shape, dtype=numpy_dtype(t.dtype))
+        return arrays
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        out: Optional[Mapping[str, np.ndarray]] = None,
+        workspace: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """One invocation; returns the kernel outputs by name.
+
+        ``out`` / ``workspace`` map tensor names to preallocated arrays
+        (e.g. arena slot views); every written tensor is zeroed before
+        execution (reduction statements accumulate into their buffers),
+        and missing entries are freshly allocated.
+        """
+        from repro.runtime.reference import numpy_dtype
+
+        buffers = bind_inputs(self.kernel, inputs)
+        provided: Dict[str, np.ndarray] = {}
+        if workspace:
+            provided.update(workspace)
+        if out:
+            provided.update(out)
+        for stmt in self.kernel.statements:
+            name = stmt.tensor.name
+            if name in buffers:
+                continue
+            arr = provided.get(name)
+            if arr is None:
+                buffers[name] = np.zeros(
+                    stmt.tensor.shape, dtype=numpy_dtype(stmt.tensor.dtype)
+                )
+            else:
+                if tuple(arr.shape) != tuple(stmt.tensor.shape):
+                    raise ValueError(
+                        f"buffer for {name!r}: expected shape "
+                        f"{stmt.tensor.shape}, got {arr.shape}"
                     )
-                    continue
-            _run_tile_scalar(rep, tile_env, box, buffers)
-    for _ in vec_stmts:
-        vectorized.note_vectorized(0.0)
-    if vec_seconds:
-        from repro.tools import perf
+                arr.fill(0)
+                buffers[name] = arr
+        # Fused-producer dedup masks are per-invocation state.
+        for _group, replays in self._group_replays:
+            for rep in replays:
+                if rep.executed is not None:
+                    rep.executed.fill(False)
 
-        perf.add("exec.vectorized", vec_seconds)
+        if self._schedule is None:
+            self._schedule = self._build_schedule()
+        vectorized.note_replay()
+        vec_seconds = 0.0
+        vec_stmts = set()
+        for steps in self._schedule:
+            for step in steps:
+                rep = step.rep
+                if rep.plan is not None:
+                    start = time.perf_counter()
+                    try:
+                        _run_tile_vectorized(rep, step, buffers)
+                        vec_seconds += time.perf_counter() - start
+                        vec_stmts.add(rep.stmt.stmt_id)
+                        continue
+                    except ExecutionFallbackError as exc:
+                        # e.g. a guarded read escaped its Select in this
+                        # tile, or an injected exec.vectorized fault;
+                        # nothing was written or recorded as executed yet.
+                        fb_start = time.perf_counter()
+                        _run_tile_scalar(rep, step.tile_env, step.box, buffers)
+                        vectorized.note_scalar_fallback(
+                            getattr(exc, "reason", None) or str(exc),
+                            time.perf_counter() - fb_start,
+                        )
+                        continue
+                _run_tile_scalar(rep, step.tile_env, step.box, buffers)
+        for _ in vec_stmts:
+            vectorized.note_vectorized(0.0)
+        if vec_seconds:
+            from repro.tools import perf
+
+            perf.add("exec.vectorized", vec_seconds)
+        return {t.name: buffers[t.name] for t in self.kernel.outputs}
 
 
-def _run_tile_vectorized(rep, tile, box, buffers) -> None:
-    from repro.tools import faultinject
-
-    faultinject.fire("exec.vectorized")
+def _membership_mask(membership, tile, box):
+    """Evaluate one statement's membership rows over a tile's box grid."""
     n = len(box)
     igrids = []
     for k, (lo, hi) in enumerate(box):
         shape = [1] * n
         shape[k] = hi - lo + 1
         igrids.append(np.arange(lo, hi + 1, dtype=np.int64).reshape(shape))
-    mask = rep.membership.mask(tile, igrids)
-    if mask is False:
-        return
-    vectorized.run_statement_box(rep.plan, buffers, box, mask, rep.executed)
+    return membership.mask(tile, igrids)
+
+
+def _run_tile_vectorized(rep, step: _TileStep, buffers) -> None:
+    from repro.tools import faultinject
+
+    faultinject.fire("exec.vectorized")
+    vectorized.run_statement_box(
+        rep.plan, buffers, step.box, step.mask, rep.executed
+    )
 
 
 def _run_tile_scalar(rep, tile_env, box, buffers) -> None:

@@ -137,6 +137,30 @@ class CompileResult:
         """
         return execute_program(self.program, inputs, engine=engine)
 
+    def replayer(self, engine: str = "auto"):
+        """Shared :class:`~repro.codegen.program_exec.ProgramReplay`.
+
+        Memoized per engine on this result, so callers that invoke the
+        same compiled subgraph many times (the network plan, once per
+        instance per batch element) pay the replay setup once.  Requires
+        ``emit_trace=True`` at build time.
+        """
+        from repro.codegen.program_exec import ProgramReplay
+
+        cache = getattr(self, "_replayers", None)
+        if cache is None:
+            cache = self._replayers = {}
+        if engine not in cache:
+            cache[engine] = ProgramReplay(self.program, engine)
+        return cache[engine]
+
+    def __getstate__(self):
+        # Replayers hold derived runtime state (and per-invocation dedup
+        # masks); the disk cache must store only the compile artefacts.
+        state = dict(self.__dict__)
+        state.pop("_replayers", None)
+        return state
+
     def cce_code(self) -> str:
         """Emit CCE-like C code for the compiled kernel."""
         from repro.codegen.cce import emit_cce

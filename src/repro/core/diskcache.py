@@ -67,6 +67,7 @@ __all__ = [
     "hw_fingerprint",
     "options_fingerprint",
     "scheduler_fingerprint",
+    "signature_fingerprint",
     "enabled",
     "get_cache",
     "set_cache_dir",
@@ -546,6 +547,19 @@ def scheduler_fingerprint(scheduler_options) -> str:
         for name, value in sorted(vars(scheduler_options).items())
     )
     return f"sched({items})"
+
+
+def signature_fingerprint(signature) -> str:
+    """Stable rendering of a subgraph structural signature.
+
+    :meth:`repro.graph.fusion.SubgraphSpec.digest` hashes this to get the
+    network pipeline's compile-level dedup key: the signature already
+    alpha-renames tensors and iterators, so two fused groups that the
+    cycle-counting dedup of :mod:`repro.graph.networks` treats as one
+    kernel map to one digest (and, via the canonical re-rooting, to one
+    disk-cache entry).
+    """
+    return "sig(" + _stable_value(signature) + ")"
 
 
 def options_fingerprint(options) -> str:

@@ -36,6 +36,7 @@ __all__ = [
     "CodegenError",
     "CacheCorruptionError",
     "ExecutionFallbackError",
+    "NetworkPlanError",
     "EXIT_CODES",
     "exit_code_for",
     "error_classes",
@@ -155,6 +156,14 @@ class ExecutionFallbackError(ReproError):
     action = "no action needed (scalar engine is bit-identical); check exec_stats for the reason"
 
 
+class NetworkPlanError(ReproError):
+    """The graph-level pipeline could not assemble a whole-network plan
+    (ambiguous tensor names across subgraphs, a subgraph consuming a
+    tensor no step produces, or a batch input missing at replay time)."""
+
+    action = "check the network builder's tensor names and the replay inputs"
+
+
 #: CLI exit codes, one per class, documented in the README.  1 is left to
 #: argparse/unexpected errors; 2 is the generic typed failure.
 EXIT_CODES: Dict[Type[ReproError], int] = {
@@ -167,6 +176,7 @@ EXIT_CODES: Dict[Type[ReproError], int] = {
     CodegenError: 8,
     CacheCorruptionError: 9,
     ExecutionFallbackError: 10,
+    NetworkPlanError: 11,
 }
 
 
@@ -192,5 +202,6 @@ def error_classes() -> Dict[str, Type[ReproError]]:
             CodegenError,
             CacheCorruptionError,
             ExecutionFallbackError,
+            NetworkPlanError,
         )
     }

@@ -9,18 +9,29 @@ onto placeholder inputs to form an independent kernel.
 - :mod:`repro.graph.fusion`    -- the graph-level fusion pass.
 - :mod:`repro.graph.subgraphs` -- the five fused subgraphs of Table 1.
 - :mod:`repro.graph.networks`  -- ResNet-50, MobileNet-v2, AlexNet,
-  BERT (two vocabularies) and SSD as layer tables.
+  BERT (two vocabularies) and SSD as layer tables, plus toy-scale
+  replayable variants.
+- :mod:`repro.graph.pipeline`  -- graph-level compile driver
+  (network -> :class:`~repro.graph.plan.NetworkPlan`).
+- :mod:`repro.graph.plan`      -- executable plans: schedule, static
+  buffer-reuse arena, batched replay.
 """
 
 from repro.graph.fusion import SubgraphSpec, extract_subgraph, fuse_graph
 from repro.graph.networks import (
+    NETWORKS,
     NetworkModel,
     alexnet,
+    alexnet_tiny,
     bert,
     mobilenet_v2,
+    mobilenet_v2_tiny,
+    network,
     resnet50,
     ssd300,
 )
+from repro.graph.pipeline import CompiledNetwork, compile_network
+from repro.graph.plan import ArenaPlan, NetworkPlan, PlanStep, plan_arena
 from repro.graph.subgraphs import paper_subgraphs
 
 __all__ = [
@@ -34,4 +45,14 @@ __all__ = [
     "alexnet",
     "bert",
     "ssd300",
+    "alexnet_tiny",
+    "mobilenet_v2_tiny",
+    "NETWORKS",
+    "network",
+    "compile_network",
+    "CompiledNetwork",
+    "NetworkPlan",
+    "PlanStep",
+    "ArenaPlan",
+    "plan_arena",
 ]

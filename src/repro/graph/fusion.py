@@ -28,7 +28,27 @@ MAX_GROUP_OPS = 24
 
 
 class SubgraphSpec:
-    """One fused subgraph: re-rooted outputs + identity signature."""
+    """One fused subgraph: re-rooted outputs + identity signature.
+
+    Besides the re-rooted DAG (``outputs``, which keeps the original
+    tensor names so cycle-counting callers and layer-scaling heuristics
+    still see them), the spec carries the wiring the network pipeline
+    needs to stitch subgraphs back together:
+
+    - ``input_tensors``   the original boundary tensors this subgraph
+                          reads, in placeholder-creation order;
+    - ``placeholders``    the re-rooted placeholders, aligned with
+                          ``input_tensors``;
+    - ``source_outputs``  the original network tensors aligned with
+                          ``outputs``;
+    - ``canonical_outputs``  a second re-rooting of the same group with
+      *canonical* tensor names (placeholders ``p0..``, computes
+      ``c0..``): signature-equal subgraphs extracted from different
+      network positions produce byte-identical IR fingerprints, so the
+      persistent disk cache deduplicates their compilations;
+    - ``canonical_inputs`` / ``canonical_output_names``  the canonical
+      names aligned with ``input_tensors`` / ``outputs``.
+    """
 
     def __init__(
         self,
@@ -36,14 +56,34 @@ class SubgraphSpec:
         outputs: List[Tensor],
         signature: Tuple,
         n_ops: int,
+        input_tensors: Optional[List[Tensor]] = None,
+        placeholders: Optional[List[Tensor]] = None,
+        source_outputs: Optional[List[Tensor]] = None,
+        canonical_outputs: Optional[List[Tensor]] = None,
+        canonical_inputs: Optional[List[str]] = None,
+        canonical_output_names: Optional[List[str]] = None,
     ):
         self.name = name
         self.outputs = outputs
         self.signature = signature
         self.n_ops = n_ops
+        self.input_tensors = input_tensors or []
+        self.placeholders = placeholders or []
+        self.source_outputs = source_outputs or []
+        self.canonical_outputs = canonical_outputs or []
+        self.canonical_inputs = canonical_inputs or []
+        self.canonical_output_names = canonical_output_names or []
 
     def __repr__(self) -> str:
         return f"SubgraphSpec({self.name}, {self.n_ops} ops)"
+
+    def digest(self) -> str:
+        """Content digest of the signature (the compile-level dedup key)."""
+        from repro.core import diskcache
+
+        return diskcache.digest(
+            "subgraph", diskcache.signature_fingerprint(self.signature)
+        )
 
 
 def _is_anchor(t: Tensor) -> bool:
@@ -150,7 +190,9 @@ def extract_subgraph(
     """Re-root one fused group onto placeholder boundary inputs."""
     in_group = {id(t) for t in group}
     mapping: Dict[int, Tensor] = {}
+    boundary_order: List[Tensor] = []
     rebuilt: Dict[int, Tensor] = {}
+    canonical: Dict[int, Tensor] = {}
     counter = 0
 
     for t in group:
@@ -161,13 +203,27 @@ def extract_subgraph(
             mapping[id(dep)] = placeholder(
                 dep.shape, dep.dtype, name=f"in{counter}_{dep.name}"
             )
+            boundary_order.append(dep)
 
-    for t in group:
+    canonical_ph: Dict[int, Tensor] = {
+        id(dep): placeholder(dep.shape, dep.dtype, name=f"p{k}")
+        for k, dep in enumerate(boundary_order)
+    }
+
+    for k, t in enumerate(group):
         local = dict(mapping)
-        local.update({k: v for k, v in rebuilt.items()})
+        local.update(rebuilt)
         body = _rebuild_expr(t.op.body, local)
         rebuilt[id(t)] = Tensor(
             t.name, t.shape, t.dtype, op=ComputeOp(t.op.axes, body)
+        )
+        # The canonical twin: same structure, position-derived names only,
+        # so signature-equal groups fingerprint identically.
+        clocal = dict(canonical_ph)
+        clocal.update(canonical)
+        cbody = _rebuild_expr(t.op.body, clocal)
+        canonical[id(t)] = Tensor(
+            f"c{k}", t.shape, t.dtype, op=ComputeOp(t.op.axes, cbody)
         )
 
     consumed_inside = set()
@@ -175,7 +231,8 @@ def extract_subgraph(
         for dep in t.op.input_tensors():
             if id(dep) in in_group:
                 consumed_inside.add(id(dep))
-    outputs = [rebuilt[id(t)] for t in group if id(t) not in consumed_inside]
+    out_group = [t for t in group if id(t) not in consumed_inside]
+    outputs = [rebuilt[id(t)] for t in out_group]
     # Tensors consumed inside but *also* by ops outside the group are
     # handled at the network level: the fuser only groups single-consumer
     # chains, so inside-consumed tensors are genuinely private here.
@@ -188,7 +245,20 @@ def extract_subgraph(
         tuple((_op_kind(t), t.shape, t.dtype) for t in group),
         boundary,
     )
-    return SubgraphSpec(name, outputs, signature, len(group))
+    return SubgraphSpec(
+        name,
+        outputs,
+        signature,
+        len(group),
+        input_tensors=boundary_order,
+        placeholders=[mapping[id(dep)] for dep in boundary_order],
+        source_outputs=out_group,
+        canonical_outputs=[canonical[id(t)] for t in out_group],
+        canonical_inputs=[
+            canonical_ph[id(dep)].name for dep in boundary_order
+        ],
+        canonical_output_names=[canonical[id(t)].name for t in out_group],
+    )
 
 
 def _op_kind(t: Tensor) -> str:

@@ -300,6 +300,49 @@ def _build_ssd300() -> List[Tensor]:
     return outs
 
 
+def _build_alexnet_tiny() -> List[Tensor]:
+    """AlexNet-shaped at toy scale, for executable network plans.
+
+    Same subgraph structure as :func:`_build_alexnet` (conv/bn/relu
+    stacks, pool cuts, FC head off a flat placeholder) but batch 2 and
+    tiny channel counts, so the scalar-oracle replay that anchors the
+    bit-identity check stays cheap.  ``t_c3``/``t_c4`` are deliberately
+    signature-identical: they prove compile-level dedup end to end.
+    """
+    x = placeholder((2, 3, 15, 15), dtype="fp16", name="image")
+    y = _conv_bn_relu(x, 3, 6, 3, 2, 0, "t_c1")
+    y = ops.max_pool2d(y, (3, 3), (2, 2), name="t_p1")
+    y = _conv_bn_relu(y, 6, 8, 3, 1, 1, "t_c2")
+    y = _conv_bn_relu(y, 8, 8, 3, 1, 1, "t_c3")
+    y = _conv_bn_relu(y, 8, 8, 3, 1, 1, "t_c4")
+    flat = placeholder((2, 72), dtype="fp16", name="t_flat")
+    outs: List[Tensor] = [y]
+    t = flat
+    for i, width in enumerate((32, 10)):
+        w = placeholder((t.shape[1], width), dtype="fp16", name=f"t_fc{i}_w")
+        t = ops.matmul(t, w, name=f"t_fc{i}")
+        if i == 0:
+            t = ops.relu(t, name=f"t_fc{i}_relu")
+    outs.append(t)
+    return outs
+
+
+def _build_mobilenet_v2_tiny() -> List[Tensor]:
+    """MobileNet-v2-shaped at toy scale, for executable network plans.
+
+    Two signature-identical inverted residuals (stride 1, ``cin ==
+    cout``) exercise both dedup and the residual fan-out: the block
+    input feeds the expand conv *and* the residual add, so the arena
+    planner must keep it live across the whole block.
+    """
+    x = placeholder((2, 3, 14, 14), dtype="fp16", name="image")
+    y = _conv_bn_relu(x, 3, 4, 3, 2, 1, "t_head")
+    y = _inverted_residual(y, 4, 4, 1, 2, "t_ir0")
+    y = _inverted_residual(y, 4, 4, 1, 2, "t_ir1")
+    y = _conv_bn_relu(y, 4, 8, 1, 1, 0, "t_tail", relu=False)
+    return [y]
+
+
 def resnet50() -> NetworkModel:
     """ResNet-50, batch 16."""
     return NetworkModel("resnet50", _build_resnet50)
@@ -323,3 +366,37 @@ def bert(vocab: int = 21128) -> BertModel:
 def ssd300() -> NetworkModel:
     """SSD with a VGG-16 backbone, batch 16."""
     return NetworkModel("ssd300", _build_ssd300)
+
+
+def alexnet_tiny() -> NetworkModel:
+    """Toy-scale AlexNet for executable-plan replay, batch 2."""
+    return NetworkModel("alexnet_tiny", _build_alexnet_tiny)
+
+
+def mobilenet_v2_tiny() -> NetworkModel:
+    """Toy-scale MobileNet-v2 for executable-plan replay, batch 2."""
+    return NetworkModel("mobilenetv2_tiny", _build_mobilenet_v2_tiny)
+
+
+#: Name -> factory for every model; ``network(name)`` is the CLI lookup.
+NETWORKS: Dict[str, Callable[[], NetworkModel]] = {
+    "resnet50": resnet50,
+    "mobilenetv2": mobilenet_v2,
+    "alexnet": alexnet,
+    "bert21128": lambda: bert(21128),
+    "bert30522": lambda: bert(30522),
+    "ssd300": ssd300,
+    "alexnet_tiny": alexnet_tiny,
+    "mobilenetv2_tiny": mobilenet_v2_tiny,
+}
+
+
+def network(name: str) -> NetworkModel:
+    """Instantiate a registered model by name (KeyError lists choices)."""
+    try:
+        factory = NETWORKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; choices: {', '.join(sorted(NETWORKS))}"
+        ) from None
+    return factory()

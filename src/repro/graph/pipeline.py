@@ -1,0 +1,311 @@
+"""Graph-level compile driver: network -> executable :class:`NetworkPlan`.
+
+The missing layer between :mod:`repro.graph.networks` (which enumerates a
+network's fused subgraphs) and the tensor compiler (which compiles one
+subgraph): ``compile_network`` fuses the whole network, deduplicates the
+subgraph instances by signature digest, compiles each *unique* subgraph
+exactly once through the staged ``run_frontend``/``backend_build`` split
+(and therefore the persistent disk cache — the canonical re-rooted DAG
+makes signature-equal subgraphs fingerprint identically), optionally
+tunes the unique subgraphs concurrently on the parallel-tuner pool, and
+stitches the compiled programs into a :class:`~repro.graph.plan.NetworkPlan`
+with a static buffer-reuse arena.
+
+Degradation follows the single-kernel rule: each subgraph build carries
+its own :class:`~repro.core.resilience.ResilienceReport` (a degraded
+subgraph is never disk-cached), and the plan rolls every subgraph's
+events into one plan-level report — one fallback anywhere marks the
+whole plan degraded.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import NetworkPlanError
+from repro.core.resilience import ResilienceReport
+from repro.graph.fusion import SubgraphSpec, extract_subgraph, fuse_graph
+from repro.graph.networks import NetworkModel
+from repro.graph.plan import NetworkPlan, PlanStep, TensorInfo
+from repro.ir.tensor import Tensor
+from repro.tools import perf
+
+__all__ = ["compile_network", "CompiledNetwork"]
+
+#: Default tuning-budget parameters for ``tune=True`` (small on purpose:
+#: the simulator measures every candidate).
+TUNE_PARAMS = {"first_round": 6, "round_size": 3, "max_rounds": 2}
+
+
+class CompiledNetwork:
+    """compile_network's result: the plan plus compile-time metadata."""
+
+    __slots__ = ("plan", "compile_seconds", "unique_compiles", "dedup_reuses")
+
+    def __init__(self, plan, compile_seconds, unique_compiles, dedup_reuses):
+        self.plan = plan
+        self.compile_seconds = compile_seconds
+        self.unique_compiles = unique_compiles
+        self.dedup_reuses = dedup_reuses
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNetwork({self.plan.name}, "
+            f"{self.unique_compiles} compiles, "
+            f"{self.dedup_reuses} reused, {self.compile_seconds:.2f}s)"
+        )
+
+
+def compile_network(
+    model: NetworkModel,
+    hw=None,
+    options=None,
+    max_group_ops: int = 24,
+    tune: bool = False,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    tune_params: Optional[Dict[str, int]] = None,
+) -> CompiledNetwork:
+    """Compile a whole network into an executable :class:`NetworkPlan`.
+
+    ``tune=True`` auto-tunes each unique subgraph's tile sizes first,
+    measuring every tuner's candidate batches concurrently on one shared
+    :class:`~repro.autotune.parallel.MultiKernelMeasurer` process pool
+    (``workers`` processes), then compiles at the best sizes.
+
+    Must not run inside an enclosing ``resilience.collect()`` scope:
+    each subgraph build needs its *own* report so the per-kernel
+    don't-cache-degraded rule stays per subgraph; the plan report is the
+    roll-up of all of them.
+    """
+    from repro.core.compiler import AkgOptions, build
+
+    t0 = time.perf_counter()
+    with perf.stage("graph.fuse"):
+        net_outputs = model.builder()
+        groups = fuse_graph(net_outputs, max_group_ops)
+        specs = [
+            extract_subgraph(group, f"{model.name}_g{i}")
+            for i, group in enumerate(groups)
+        ]
+
+    # Dedup instances by signature digest: one compile per unique digest.
+    unique: Dict[str, SubgraphSpec] = {}
+    order: List[str] = []
+    digests: List[str] = []
+    dedup_reuses = 0
+    for spec in specs:
+        digest = spec.digest()
+        digests.append(digest)
+        if digest in unique:
+            dedup_reuses += 1
+            # Zero-duration perf marker: the calls counter in
+            # perf.report() counts compile-level signature reuses.
+            perf.add("graph.dedup_reuse", 0.0)
+        else:
+            unique[digest] = spec
+            order.append(digest)
+
+    tile_overrides: Dict[str, List[int]] = {}
+    if tune:
+        with perf.stage("graph.tune"):
+            tile_overrides = _tune_unique(
+                unique, order, hw, seed, tune_params or TUNE_PARAMS, workers
+            )
+
+    base_options = copy.copy(options) if options is not None else None
+    plan_report = ResilienceReport()
+    programs: Dict[str, object] = {}
+    with perf.stage("graph.compile_subgraphs"):
+        for digest in order:
+            spec = unique[digest]
+            opts = copy.copy(base_options) if base_options else None
+            opts = opts or AkgOptions()
+            opts.emit_trace = True
+            sizes = tile_overrides.get(digest)
+            if sizes is not None:
+                opts.tile_sizes = list(sizes)
+            # Called directly (not under an outer collect): build's own
+            # report decides disk-cache eligibility for *this* subgraph.
+            result = build(
+                spec.canonical_outputs,
+                name=f"sg_{digest[:12]}",
+                hw=hw,
+                options=opts,
+            )
+            programs[digest] = result
+            for event in result.resilience.events:
+                plan_report.events.append(dict(event))
+
+    plan = _wire_plan(
+        model.name, net_outputs, specs, digests, programs, plan_report
+    )
+    return CompiledNetwork(
+        plan,
+        compile_seconds=time.perf_counter() - t0,
+        unique_compiles=len(order),
+        dedup_reuses=dedup_reuses,
+    )
+
+
+def _wire_plan(
+    name: str,
+    net_outputs: Sequence[Tensor],
+    specs: Sequence[SubgraphSpec],
+    digests: Sequence[str],
+    programs: Dict[str, object],
+    report: ResilienceReport,
+) -> NetworkPlan:
+    """Stitch per-instance specs into the schedule + tensor registry."""
+    key_of: Dict[int, str] = {}
+    used: Dict[str, int] = {}
+
+    def assign(t: Tensor) -> str:
+        existing = key_of.get(id(t))
+        if existing is not None:
+            return existing
+        if t.name in used:
+            raise NetworkPlanError(
+                f"network {name!r}: two tensors named {t.name!r} cross "
+                "subgraph boundaries; tensor names must be unique",
+                stage="graph.plan",
+                kernel=name,
+            )
+        used[t.name] = id(t)
+        key_of[id(t)] = t.name
+        return t.name
+
+    tensors: Dict[str, TensorInfo] = {}
+    inputs: List[TensorInfo] = []
+    steps: List[PlanStep] = []
+    for i, (spec, digest) in enumerate(zip(specs, digests)):
+        input_keys: List[str] = []
+        for dep in spec.input_tensors:
+            if dep.is_placeholder:
+                known = id(dep) in key_of
+                key = assign(dep)
+                if not known:
+                    inputs.append(TensorInfo(key, dep.shape, dep.dtype))
+            else:
+                key = key_of.get(id(dep))
+                if key is None:
+                    raise NetworkPlanError(
+                        f"network {name!r}: subgraph {spec.name!r} reads "
+                        f"{dep.name!r} before any subgraph produces it",
+                        stage="graph.plan",
+                        kernel=spec.name,
+                    )
+            input_keys.append(key)
+        output_keys: List[str] = []
+        for t in spec.source_outputs:
+            key = assign(t)
+            tensors[key] = TensorInfo(key, t.shape, t.dtype)
+            output_keys.append(key)
+        steps.append(
+            PlanStep(
+                index=i,
+                name=spec.name,
+                digest=digest,
+                input_keys=input_keys,
+                output_keys=output_keys,
+                canonical_inputs=spec.canonical_inputs,
+                canonical_outputs=spec.canonical_output_names,
+            )
+        )
+
+    outputs: List[Tuple[str, str]] = []
+    for t in net_outputs:
+        key = key_of.get(id(t))
+        if key is None:
+            raise NetworkPlanError(
+                f"network {name!r}: output {t.name!r} was fused away "
+                "(consumed inside a subgraph); mark it as a boundary",
+                stage="graph.plan",
+                kernel=name,
+            )
+        outputs.append((t.name, key))
+
+    return NetworkPlan(
+        name,
+        steps,
+        programs,
+        tensors,
+        inputs,
+        outputs,
+        resilience=report,
+    )
+
+
+def _tune_unique(
+    unique: Dict[str, SubgraphSpec],
+    order: Sequence[str],
+    hw,
+    seed: int,
+    params: Dict[str, int],
+    workers: Optional[int],
+) -> Dict[str, List[int]]:
+    """Tune every unique subgraph, candidate batches pooled together.
+
+    Each subgraph gets its own deterministic :class:`AutoTuner` (seeded
+    by position), all sharing one :class:`MultiKernelMeasurer`: while
+    one tuner waits for its batch, other tuners' candidates keep the
+    pool busy.  A subgraph with no feasible candidate simply keeps the
+    analytic Auto Tiling sizes.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.autotune.parallel import MultiKernelMeasurer
+    from repro.autotune.tuner import AutoTuner
+    from repro.core.compiler import backend_build
+    from repro.core.frontend import run_frontend
+
+    frontends = {}
+    extents: Dict[str, List[int]] = {}
+    for digest in order:
+        spec = unique[digest]
+        frontend = run_frontend(
+            spec.canonical_outputs, f"sg_{digest[:12]}", hw=hw
+        )
+        probe = backend_build(frontend)
+        group = probe.groups[-1]
+        lead = group.statements[-1]
+        dims = lead.iter_extents[: len(group.tile_dims)]
+        if not dims:
+            continue  # nothing to tune
+        frontends[digest] = frontend
+        extents[digest] = list(dims)
+    if not frontends:
+        return {}
+
+    best: Dict[str, List[int]] = {}
+    with MultiKernelMeasurer(frontends, workers=workers) as measurer:
+
+        def tune_one(position: int, digest: str) -> Optional[List[int]]:
+            tuner = AutoTuner(
+                lambda sizes: measurer.measure_one(digest, sizes),
+                extents[digest],
+                seed=seed + position,
+                batch_measure=lambda batch: measurer.measure_batch(
+                    digest, batch
+                ),
+                **params,
+            )
+            try:
+                sizes, _history = tuner.tune()
+            except RuntimeError:
+                return None  # no feasible candidate: keep auto tiling
+            return sizes
+
+        tuned = list(frontends)
+        with ThreadPoolExecutor(max_workers=min(len(tuned), 8)) as tp:
+            futures = {
+                digest: tp.submit(tune_one, pos, digest)
+                for pos, digest in enumerate(tuned)
+            }
+            for digest, future in futures.items():
+                sizes = future.result()
+                if sizes is not None:
+                    best[digest] = sizes
+    return best

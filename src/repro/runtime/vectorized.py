@@ -79,6 +79,7 @@ __all__ = [
     "run_statement_box",
     "exec_stats",
     "reset_exec_stats",
+    "note_replay",
 ]
 
 
@@ -97,7 +98,12 @@ class Unvectorizable(ExecutionFallbackError):
 
 # -- statistics ----------------------------------------------------------------
 
-_STATS = {"vectorized": 0, "scalar_fallback": 0, "scalar_small": 0}
+_STATS = {
+    "vectorized": 0,
+    "scalar_fallback": 0,
+    "scalar_small": 0,
+    "program_replays": 0,
+}
 _FALLBACK_REASONS: Dict[str, int] = {}
 
 
@@ -118,6 +124,11 @@ def exec_stats() -> Dict[str, object]:
 def _note_fallback(reason: str) -> None:
     _STATS["scalar_fallback"] += 1
     _FALLBACK_REASONS[reason] = _FALLBACK_REASONS.get(reason, 0) + 1
+
+
+def note_replay() -> None:
+    """Credit one compiled-program replay invocation (ProgramReplay.run)."""
+    _STATS["program_replays"] += 1
 
 
 def note_vectorized(seconds: float) -> None:

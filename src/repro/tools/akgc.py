@@ -12,6 +12,15 @@ Usage::
 The tool exists for the same reason AKG ships a debugger surface
 (Sec. 4.6): poking at one kernel -- its schedule tree, tile sizes, storage
 plan, instruction stream and simulated cycles -- without writing a script.
+
+``--network <name>`` switches to the whole-network pipeline instead of a
+single demo kernel: the named model is fused, deduplicated and compiled
+into an executable plan, and the tool prints the per-subgraph table
+(digest, multiplicity, simulated cycles), the arena planner's
+planned-vs-naive peak bytes, and the plan's degradation status::
+
+    python -m repro.tools.akgc --network alexnet_tiny
+    python -m repro.tools.akgc --network mobilenetv2_tiny --resilience-stats
 """
 
 from __future__ import annotations
@@ -68,16 +77,103 @@ def _build_kernel(args):
     raise SystemExit(f"unknown op {args.op!r}")
 
 
+def _print_cache_stats() -> None:
+    from repro.core import diskcache
+    from repro.poly.cache import solver_cache_stats
+
+    print("\n=== cache counters ===")
+    stats = diskcache.disk_cache_stats()
+    if stats.get("enabled"):
+        print(
+            f"disk cache    : {stats['hits']} hits, {stats['misses']} "
+            f"misses, {stats['stores']} stores, {stats['entries']} "
+            f"entries ({diskcache.get_cache().root})"
+        )
+    else:
+        print("disk cache    : disabled")
+    for cname, s in solver_cache_stats().items():
+        print(
+            f"solver [{cname:<4}] : {s['hits']} hits, {s['misses']} misses "
+            f"({100.0 * s['hit_rate']:.1f}%)"
+        )
+
+
+def _run_network(args) -> int:
+    """The ``--network`` mode: whole-network compile + plan report."""
+    from repro.core.errors import ReproError, exit_code_for
+    from repro.graph import compile_network
+    from repro.graph import network as get_network
+    from repro.tools import perf
+
+    try:
+        model = get_network(args.network)
+    except KeyError as exc:
+        print(f"akgc: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        compiled = compile_network(model)
+    except ReproError as exc:
+        print(f"akgc: {type(exc).__name__}: {exc}", file=sys.stderr)
+        print(f"akgc: {exc.action}", file=sys.stderr)
+        return exit_code_for(exc)
+
+    plan = compiled.plan
+    counts = plan.multiplicities()
+    cycles = plan.cycles_by_digest()
+    print(f"network       : {model.name}")
+    print(f"subgraphs     : {len(plan.steps)} instances, "
+          f"{plan.unique_subgraphs()} unique "
+          f"({compiled.dedup_reuses} deduplicated)")
+    print(f"compile       : {compiled.compile_seconds:.2f}s")
+    print(f"degraded      : {'yes' if plan.degraded else 'no'}")
+
+    print("\n=== unique subgraphs ===")
+    header = f"{'subgraph':<16}{'mult':>6}{'cycles':>12}{'total':>12}"
+    print(header)
+    print("-" * len(header))
+    for digest in cycles:
+        mult = counts[digest]
+        print(
+            f"sg_{digest[:12]:<13}{mult:>6}{cycles[digest]:>12}"
+            f"{cycles[digest] * mult:>12}"
+        )
+    print(f"{'network total':<16}{'':>6}{'':>12}{plan.total_cycles():>12}")
+
+    arena = plan.arena.report()
+    print("\n=== memory plan ===")
+    print(f"arena slots   : {arena['arena_slots']}")
+    print(f"planned peak  : {arena['planned_peak_bytes']} bytes "
+          f"({arena['arena_bytes']} arena + "
+          f"{arena['dedicated_bytes']} dedicated)")
+    print(f"naive peak    : {arena['naive_peak_bytes']} bytes")
+    print(f"arena savings : {100.0 * arena['savings_ratio']:.1f}%")
+
+    if args.resilience_stats:
+        print("\n=== resilience report ===")
+        lines = plan.resilience.summary()
+        print("\n".join(lines) if lines else "no degradation events")
+    if args.perf:
+        print("\n=== compile-time breakdown ===")
+        print(perf.format_report())
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="akgc", description=__doc__.splitlines()[0]
     )
     parser.add_argument(
-        "op", choices=["relu", "add", "softmax", "matmul", "conv2d"],
-        help="demo kernel to compile",
+        "op", nargs="?", default=None,
+        choices=["relu", "add", "softmax", "matmul", "conv2d"],
+        help="demo kernel to compile (omit with --network)",
     )
-    parser.add_argument("--shape", required=True, help="comma-separated extents")
+    parser.add_argument("--network", default=None, metavar="NAME",
+                        help="compile a whole registered network into an "
+                             "executable plan instead of one demo kernel")
+    parser.add_argument("--shape", default=None, help="comma-separated extents")
     parser.add_argument("--dtype", default="fp16", choices=["fp16", "fp32"])
     parser.add_argument("--kernel", type=int, default=3, help="conv window")
     parser.add_argument("--stride", type=int, default=1, help="conv stride")
@@ -111,6 +207,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--compare", action="store_true",
                         help="also compile the three baselines")
     args = parser.parse_args(argv)
+    if args.network is None and args.op is None:
+        parser.error("either a demo op or --network NAME is required")
+    if args.network is None and args.shape is None:
+        parser.error("--shape is required when compiling a demo op")
 
     from repro.core import diskcache
     from repro.core.compiler import AkgOptions, build
@@ -127,6 +227,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     perf.reset()
     reset_solver_cache_stats()
     diskcache.reset_disk_cache_stats()
+
+    if args.network is not None:
+        return _run_network(args)
+
     out = _build_kernel(args)
     budget = None
     if args.stage_timeout is not None or args.solver_budget is not None:
@@ -165,23 +269,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n=== compile-time breakdown ===")
         print(perf.format_report())
     if args.cache_stats:
-        print("\n=== cache counters ===")
-        stats = diskcache.disk_cache_stats()
-        if stats.get("enabled"):
-            print(
-                f"disk cache    : {stats['hits']} hits, {stats['misses']} "
-                f"misses, {stats['stores']} stores, {stats['entries']} "
-                f"entries ({diskcache.get_cache().root})"
-            )
-        else:
-            print("disk cache    : disabled")
-        from repro.poly.cache import solver_cache_stats
-
-        for cname, s in solver_cache_stats().items():
-            print(
-                f"solver [{cname:<4}] : {s['hits']} hits, {s['misses']} misses "
-                f"({100.0 * s['hit_rate']:.1f}%)"
-            )
+        _print_cache_stats()
     if args.dump_tree:
         print("\n=== schedule tree ===")
         print(result.tree.render())

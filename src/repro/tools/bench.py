@@ -21,6 +21,7 @@ wall-clock breakdown from :mod:`repro.tools.perf`) and written to
     python -m repro.tools.bench --quick         # tiny shapes, seconds
     python -m repro.tools.bench --parallel      # pool-measured staged runs
     python -m repro.tools.bench --exec          # scalar vs vectorized engine
+    python -m repro.tools.bench --network       # whole-network plans
     python -m repro.tools.bench --out my.json
 
 ``--exec`` benchmarks *execution* instead of compilation: each kernel
@@ -29,11 +30,20 @@ runs through the scalar oracle and the vectorized numpy engine
 speedup plus scalar-fallback counts; a second section replays compiled
 programs (``execute_program``) on both engines.
 
-JSON layout: ``{"config": ..., "kernels": {name: {legacy_seconds,
-monolithic_cached_seconds, staged_seconds, speedup_vs_legacy, best_sizes,
-best_cycles, candidates, results_agree}}, "stages": ...,
-"solver_cache": ...}`` — ``speedup_vs_legacy`` is the headline number;
-``stages`` and ``solver_cache`` localise where remaining time goes.
+``--network`` benchmarks the whole-network pipeline
+(``BENCH_network.json``): per replayable network, graph-level compile
+wall-clock cold vs disk-cache-warm, subgraph dedup counts, batched
+plan replay vs kernel-at-a-time scalar-oracle inferences/sec (bit
+identity asserted), Fig. 13-style total simulated cycles, and the
+arena planner's planned-vs-naive peak bytes.
+
+Every BENCH file shares one schema envelope (:func:`_report_envelope`):
+``benchmark``, ``schema_version``, ``host``, ``platform``, ``python``,
+``numpy``, ``timestamp``; suite payloads hang off ``config`` plus the
+suite's own sections (``kernels``, ``scenarios``, ``networks``, ...) —
+e.g. for the pipeline suite ``{"kernels": {name: {legacy_seconds,
+monolithic_cached_seconds, staged_seconds, speedup_vs_legacy, ...}}}``
+where ``speedup_vs_legacy`` is the headline number.
 """
 
 from __future__ import annotations
@@ -57,6 +67,29 @@ from repro.poly.cache import (
     solver_cache_stats,
 )
 from repro.tools import perf
+
+#: Bump when the shared BENCH_*.json envelope below changes shape.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _report_envelope(benchmark: str) -> Dict[str, object]:
+    """The header every BENCH_*.json starts with (one schema, five files)."""
+    import platform
+    from datetime import datetime, timezone
+
+    import numpy as np
+
+    return {
+        "benchmark": benchmark,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
 
 
 def _kernels(quick: bool) -> Dict[str, Callable[[], object]]:
@@ -202,7 +235,7 @@ def _run_suite_nodisk(
         results[name] = row
 
     return {
-        "benchmark": "pipeline",
+        **_report_envelope("pipeline"),
         "config": {
             "quick": quick,
             "parallel": parallel,
@@ -346,7 +379,7 @@ def run_exec_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
         }
 
     return {
-        "benchmark": "exec",
+        **_report_envelope("exec"),
         "config": {"quick": quick, "seed": seed},
         "kernels": results,
         "replay": replay,
@@ -513,22 +546,102 @@ def run_chaos_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
             all_ok = all_ok and cell["acceptable"]
         results[spec] = row
 
+    if not quick:
+        for spec in NETWORK_CHAOS_SCENARIOS:
+            cell = _network_chaos_cell(NETWORK_CHAOS_MODEL, spec, seed)
+            results.setdefault(spec, {})[
+                f"network:{NETWORK_CHAOS_MODEL}"
+            ] = cell
+            all_ok = all_ok and cell["acceptable"]
+
     return {
-        "benchmark": "chaos",
+        **_report_envelope("chaos"),
         "config": {"quick": quick, "seed": seed},
         "scenarios": results,
         "all_acceptable": all_ok,
     }
 
 
+#: Faults aimed at the whole-network pipeline.  ``tiling.auto_search``
+#: only fires for non-contraction subgraphs (the pool — a mid-network
+#: compile), exercising the plan-level degradation roll-up; the
+#: ``#skip=2`` storage fault lets the first subgraphs build cleanly and
+#: aborts a later one, exercising the typed mid-network failure path.
+NETWORK_CHAOS_SCENARIOS: Tuple[str, ...] = (
+    "tiling.auto_search:error",
+    "storage.promote:error#skip=2",
+    "exec.vectorized:error",
+    "diskcache.read:corrupt",
+)
+NETWORK_CHAOS_MODEL = "alexnet_tiny"
+
+
+def _network_chaos_cell(
+    name: str, spec: str, seed: int
+) -> Dict[str, object]:
+    """One (scenario, network) cell: compile the whole plan under the
+    fault, then check single-invocation replay against the oracle."""
+    import numpy as np
+
+    from repro.core.errors import ReproError
+    from repro.graph import compile_network
+    from repro.graph import network as get_network
+    from repro.tools import faultinject
+
+    cell: Dict[str, object] = {"outcome": "?", "degraded": False, "events": 0}
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-net-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        try:
+            clear_solver_caches()
+            if spec.startswith("diskcache.read"):
+                compile_network(get_network(name))
+                clear_solver_caches()
+            t0 = time.perf_counter()
+            try:
+                with faultinject.inject(spec):
+                    plan = compile_network(get_network(name)).plan
+                    feeds = _network_inputs(plan, seed, 1)
+                    got = plan.replay(feeds)
+                    ref = plan.oracle(feeds)
+            except ReproError as exc:
+                cell["outcome"] = f"typed:{type(exc).__name__}"
+            except Exception as exc:  # noqa: BLE001 - the chaos verdict
+                cell["outcome"] = f"UNTYPED:{type(exc).__name__}"
+            else:
+                exact = all(
+                    np.array_equal(g[k], r[k])
+                    for g, r in zip(got, ref)
+                    for k in g
+                )
+                cell["outcome"] = "ok" if exact else "MISMATCH"
+                cell["degraded"] = bool(plan.degraded)
+                cell["events"] = len(plan.resilience.events)
+            cell["seconds"] = time.perf_counter() - t0
+        finally:
+            diskcache.set_cache_dir(None)
+    cell["acceptable"] = cell["outcome"] == "ok" or str(
+        cell["outcome"]
+    ).startswith("typed:")
+    return cell
+
+
 def _format_chaos_table(report: Dict[str, object]) -> str:
-    kernels = list(next(iter(report["scenarios"].values())).keys())
+    # Rows may cover different columns (the network cells only exist for
+    # a few scenarios), so derive the column set from all rows.
+    kernels: List[str] = []
+    for row in report["scenarios"].values():
+        for k in row:
+            if k not in kernels:
+                kernels.append(k)
     header = f"{'scenario':<36}" + "".join(f"{k:>28}" for k in kernels)
     lines = [header, "-" * len(header)]
     for spec, row in report["scenarios"].items():
         cells = []
         for k in kernels:
-            cell = row[k]
+            cell = row.get(k)
+            if cell is None:
+                cells.append(f"{'-':>28}")
+                continue
             text = str(cell["outcome"])
             if cell.get("degraded"):
                 text += " (degraded)"
@@ -686,7 +799,7 @@ def run_diskcache_suite(
             ),
         }
     return {
-        "benchmark": "diskcache",
+        **_report_envelope("diskcache"),
         "config": {
             "quick": quick,
             "seed": seed,
@@ -713,6 +826,148 @@ def _format_diskcache_table(report: Dict[str, object]) -> str:
             f"{row['tune_speedup']:>8.1f}x"
             f"{'yes' if row['dumps_identical'] else 'NO':>8}"
             f"{'yes' if row['tuner_agree'] else 'NO':>9}"
+        )
+    return "\n".join(lines)
+
+
+# -- the whole-network inference benchmark ------------------------------------
+#
+# Per replayable network: graph-level compile (cold, then warm against
+# the same disk cache), then a batch of inferences through the plan's
+# batched vectorized replay with arena buffer reuse, against the
+# kernel-at-a-time scalar oracle.  Bit identity between the two is
+# asserted per cell — the speedup column compares equal answers.
+
+
+#: Networks small enough that the scalar oracle anchoring the
+#: bit-identity check stays affordable.
+NETWORK_SUITE: Tuple[str, ...] = ("alexnet_tiny", "mobilenetv2_tiny")
+
+
+def _network_inputs(plan, seed: int, batch: int) -> List[Dict[str, object]]:
+    """One random feed dict per invocation (scaled to keep fp16 finite)."""
+    import numpy as np
+
+    from repro.runtime.reference import numpy_dtype
+
+    rng = np.random.default_rng(seed)
+    feeds: List[Dict[str, object]] = []
+    for _ in range(batch):
+        feed: Dict[str, object] = {}
+        for info in plan.inputs:
+            dt = numpy_dtype(info.dtype)
+            if dt.kind == "i":
+                feed[info.key] = rng.integers(0, 7, size=info.shape).astype(dt)
+            else:
+                feed[info.key] = (
+                    0.25 * rng.standard_normal(info.shape)
+                ).astype(dt)
+        feeds.append(feed)
+    return feeds
+
+
+def run_network_suite(
+    quick: bool = False,
+    seed: int = 0,
+    networks: Sequence[str] = NETWORK_SUITE,
+    batch: Optional[int] = None,
+) -> Dict[str, object]:
+    """Whole-network compile + batched replay benchmark."""
+    import numpy as np
+
+    from repro.graph import compile_network
+    from repro.graph import network as get_network
+    from repro.runtime import vectorized
+
+    if batch is None:
+        batch = 4 if quick else 8
+    results: Dict[str, object] = {}
+    for name in networks:
+        with tempfile.TemporaryDirectory(prefix="repro-network-") as cdir:
+            diskcache.set_cache_dir(cdir)
+            try:
+                clear_solver_caches()
+                perf.reset()
+                t0 = time.perf_counter()
+                cold = compile_network(get_network(name))
+                cold_seconds = time.perf_counter() - t0
+                stages = perf.report()["stages"]
+                dedup_calls = int(
+                    stages.get("graph.dedup_reuse", {}).get("calls", 0)
+                )
+                clear_solver_caches()
+                t0 = time.perf_counter()
+                warm = compile_network(get_network(name))
+                warm_seconds = time.perf_counter() - t0
+            finally:
+                diskcache.set_cache_dir(None)
+
+        plan = warm.plan
+        feeds = _network_inputs(plan, seed, batch)
+        plan.replay(feeds[:1])  # build replay schedules + arena buffers
+        vectorized.reset_exec_stats()
+        t0 = time.perf_counter()
+        got = plan.replay(feeds)
+        replay_seconds = time.perf_counter() - t0
+        stats = vectorized.exec_stats()
+        t0 = time.perf_counter()
+        ref = plan.oracle(feeds)
+        oracle_seconds = time.perf_counter() - t0
+        bit_identical = bool(
+            all(
+                set(g) == set(r)
+                and all(np.array_equal(g[k], r[k]) for k in g)
+                for g, r in zip(got, ref)
+            )
+        )
+        results[name] = {
+            "subgraph_instances": len(plan.steps),
+            "unique_subgraphs": plan.unique_subgraphs(),
+            "dedup_reuses": cold.dedup_reuses,
+            "dedup_perf_calls": dedup_calls,
+            "cold_compile_seconds": cold_seconds,
+            "warm_compile_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / max(warm_seconds, 1e-9),
+            "batch": batch,
+            "plan_replay_seconds": replay_seconds,
+            "oracle_seconds": oracle_seconds,
+            "plan_inferences_per_sec": batch / max(replay_seconds, 1e-9),
+            "oracle_inferences_per_sec": batch / max(oracle_seconds, 1e-9),
+            "replay_speedup": oracle_seconds / max(replay_seconds, 1e-9),
+            "bit_identical": bit_identical,
+            "scalar_fallbacks": int(stats["scalar_fallback"]),
+            "program_replays": int(stats["program_replays"]),
+            "total_cycles": int(plan.total_cycles()),
+            "degraded": bool(plan.degraded),
+            "arena": plan.arena.report(),
+        }
+
+    return {
+        **_report_envelope("network"),
+        "config": {"quick": quick, "seed": seed, "batch": batch},
+        "networks": results,
+    }
+
+
+def _format_network_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'network':<18}{'steps':>6}{'uniq':>6}{'cold(s)':>9}{'warm(s)':>9}"
+        f"{'plan inf/s':>12}{'oracle inf/s':>14}{'speedup':>9}{'exact':>7}"
+        f"{'arena saved':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["networks"].items():
+        saved = row["arena"]["savings_ratio"] * 100.0
+        lines.append(
+            f"{name:<18}{row['subgraph_instances']:>6}"
+            f"{row['unique_subgraphs']:>6}"
+            f"{row['cold_compile_seconds']:>9.2f}"
+            f"{row['warm_compile_seconds']:>9.2f}"
+            f"{row['plan_inferences_per_sec']:>12.1f}"
+            f"{row['oracle_inferences_per_sec']:>14.2f}"
+            f"{row['replay_speedup']:>8.1f}x"
+            f"{'yes' if row['bit_identical'] else 'NO':>7}"
+            f"{saved:>12.1f}%"
         )
     return "\n".join(lines)
 
@@ -758,10 +1013,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "scenario hangs, mismatches, or dies untyped)",
     )
     parser.add_argument(
+        "--network", action="store_true",
+        help="run the whole-network compile + batched-replay benchmark "
+             "instead",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="output JSON path (default BENCH_pipeline.json; "
              "BENCH_diskcache.json with --diskcache, BENCH_exec.json "
-             "with --exec, BENCH_chaos.json with --chaos)",
+             "with --exec, BENCH_chaos.json with --chaos, "
+             "BENCH_network.json with --network)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
@@ -771,6 +1032,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out = "BENCH_diskcache.json"
         elif args.chaos:
             args.out = "BENCH_chaos.json"
+        elif args.network:
+            args.out = "BENCH_network.json"
         else:
             args.out = "BENCH_pipeline.json"
 
@@ -782,6 +1045,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fh.write("\n")
         print(f"\nwrote {args.out}")
         return 0 if report["all_acceptable"] else 1
+
+    if args.network:
+        report = run_network_suite(quick=args.quick, seed=args.seed)
+        print(_format_network_table(report))
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+        ok = all(
+            row["bit_identical"] and not row["degraded"]
+            for row in report["networks"].values()
+        )
+        return 0 if ok else 1
 
     if args.exec_suite:
         report = run_exec_suite(quick=args.quick, seed=args.seed)

@@ -8,6 +8,7 @@ from repro.core.errors import (
     CodegenError,
     ExecutionFallbackError,
     FusionError,
+    NetworkPlanError,
     ReproError,
     SchedulingError,
     SolverBudgetError,
@@ -27,6 +28,7 @@ ALL_CLASSES = (
     CodegenError,
     CacheCorruptionError,
     ExecutionFallbackError,
+    NetworkPlanError,
 )
 
 
