@@ -61,6 +61,65 @@ grep -q "degraded      : yes" /tmp/akgc_network_fault.txt \
 rm -rf "$NET_CACHE_DIR" /tmp/akgc_network_fault.txt
 
 echo
+echo "== compile-service smoke (akgd daemon, mixed requests) =="
+SERVE_CACHE_DIR="$(mktemp -d)"
+READY_FILE="$(mktemp)"
+: > "$READY_FILE"
+REPRO_CACHE_DIR="$SERVE_CACHE_DIR" \
+    python -m repro.tools.akgd --port 0 --workers 2 \
+    --ready-file "$READY_FILE" > /tmp/akgd_smoke.log 2>&1 &
+AKGD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$READY_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$READY_FILE" ] \
+    || { echo "FAIL: akgd never became ready"; kill "$AKGD_PID"; exit 1; }
+AKGD_PORT="$(awk '{print $2}' "$READY_FILE")"
+# 8 mixed requests: 7 healthy (duplicates coalesce/memo-hit) + 1 with an
+# injected fault that must come back as a typed per-request error while
+# the daemon keeps serving.
+python - "$AKGD_PORT" <<'EOF'
+import sys
+
+from repro.service.client import ServiceClient
+
+client = ServiceClient(port=int(sys.argv[1]), timeout=300.0)
+payloads = [
+    {"kind": "compile", "op": "relu", "shape": [32, 48]},
+    {"kind": "compile", "op": "relu", "shape": [32, 48]},      # duplicate
+    {"kind": "compile", "op": "matmul", "shape": [16, 16, 16]},
+    {"kind": "compile", "op": "matmul", "shape": [16, 16, 16]},  # duplicate
+    {"kind": "compile", "op": "add", "shape": [24, 24]},
+    {"kind": "replay", "op": "relu", "shape": [8, 12], "seed": 3},
+    {"kind": "compile", "op": "relu", "shape": [16, 16],
+     "fault_spec": "storage.promote:error"},                   # the bad one
+    {"kind": "compile", "op": "softmax", "shape": [16, 32]},
+]
+responses = [client.request(p) for p in payloads]
+ok = [r for r in responses if r["ok"]]
+bad = [r for r in responses if not r["ok"]]
+assert len(ok) == 7, f"expected 7 ok, got {len(ok)}"
+assert len(bad) == 1 and bad[0]["error"]["type"] == "CodegenError", bad
+assert bad[0]["error"]["exit_code"] == 8, bad
+# Duplicates are bit-identical to their originals.
+assert responses[1]["program_sha256"] == responses[0]["program_sha256"]
+assert responses[3]["program_sha256"] == responses[2]["program_sha256"]
+# The daemon survived the faulted request and still answers.
+assert client.ping(), "daemon dead after faulted request"
+stats = client.stats()
+# Duplicates may be served from the memo instead of re-building:
+# built + memo-answered must cover all 7 healthy requests.
+assert stats["completed"] + stats["memo_hits"] >= 7, stats
+assert stats["failed"] == 1, stats
+print(f"serve smoke ok: 7 ok + 1 typed error, "
+      f"{stats['coalesced']} coalesced, {stats['memo_hits']} memo hits")
+client.shutdown()
+EOF
+wait "$AKGD_PID" || true
+rm -rf "$SERVE_CACHE_DIR" "$READY_FILE" /tmp/akgd_smoke.log
+
+echo
 echo "== typed CLI exit codes under injection =="
 set +e
 REPRO_FAULT_SPEC="ilp.solve:error" \

@@ -51,6 +51,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from contextlib import contextmanager
 from fractions import Fraction
 from typing import Any, Dict, Iterator, List, Optional
@@ -99,8 +100,12 @@ class DiskCache:
 
     Layout: ``<root>/<key[:2]>/<key>.pkl`` (two-level fan-out keeps
     directory listings short).  All operations are safe against
-    concurrent readers/writers in other processes: writes are atomic
-    renames and reads treat any error as a miss.
+    concurrent readers/writers in other processes *and* threads: writes
+    land in a unique temp file and ``os.replace`` into place (two racing
+    writers of the same key cannot interleave bytes — one whole entry
+    wins the rename), reads treat any error as a miss, and the counters
+    are guarded by a lock so concurrent service workers never drop
+    increments.
     """
 
     def __init__(self, root: str, max_entries: int = 4096):
@@ -112,6 +117,11 @@ class DiskCache:
         self.evictions = 0
         self.errors = 0
         self.corruptions = 0
+        self._stats_lock = threading.Lock()
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + by)
 
     # -- paths ---------------------------------------------------------------
 
@@ -159,25 +169,25 @@ class DiskCache:
                 blob = fh.read()
             value = self._decode(blob)
         except FileNotFoundError:
-            self.misses += 1
+            self._bump("misses")
             return None
         except Exception as exc:
-            self.errors += 1
+            self._bump("errors")
             if isinstance(exc, CacheCorruptionError):
-                self.corruptions += 1
+                self._bump("corruptions")
             resilience.note_event(
                 "diskcache",
                 "recovered",
                 error=type(exc).__name__,
                 detail=f"entry {key[:12]} dropped: {exc}",
             )
-            self.misses += 1
+            self._bump("misses")
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._bump("hits")
         return value
 
     @staticmethod
@@ -202,7 +212,7 @@ class DiskCache:
             pickled = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             payload = _MAGIC + hashlib.sha256(pickled).digest() + pickled
         except Exception:
-            self.errors += 1
+            self._bump("errors")
             return False
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -220,9 +230,9 @@ class DiskCache:
                     pass
                 raise
         except Exception:
-            self.errors += 1
+            self._bump("errors")
             return False
-        self.stores += 1
+        self._bump("stores")
         self._evict()
         return True
 
@@ -242,7 +252,7 @@ class DiskCache:
         for _, path in dated[:excess]:
             try:
                 os.remove(path)
-                self.evictions += 1
+                self._bump("evictions")
             except OSError:
                 pass
 
@@ -258,25 +268,28 @@ class DiskCache:
         return len(self._entries())
 
     def stats(self) -> Dict[str, float]:
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "errors": self.errors,
-            "corruptions": self.corruptions,
-            "entries": len(self._entries()),
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
+        entries = len(self._entries())
+        with self._stats_lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "errors": self.errors,
+                "corruptions": self.corruptions,
+                "entries": entries,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.evictions = 0
-        self.errors = 0
-        self.corruptions = 0
+        with self._stats_lock:
+            self.hits = 0
+            self.misses = 0
+            self.stores = 0
+            self.evictions = 0
+            self.errors = 0
+            self.corruptions = 0
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -332,19 +345,25 @@ def enabled() -> bool:
     return os.environ.get("REPRO_NO_DISK_CACHE", "0") in ("0", "", "false")
 
 
+_cache_lock = threading.Lock()
+
+
 def get_cache() -> DiskCache:
     """The process-wide cache bound to the configured directory.
 
     Re-binds (keeping zeroed counters) when ``REPRO_CACHE_DIR`` changed
     since the last call, so per-test tmpdir isolation works without any
-    explicit reset hook.
+    explicit reset hook.  The rebind check runs under a lock so service
+    worker threads racing through a directory change all see one cache
+    object rather than each constructing their own.
     """
     global _cache, _cache_root
     root = _configured_root()
-    if _cache is None or _cache_root != root:
-        _cache = DiskCache(root)
-        _cache_root = root
-    return _cache
+    with _cache_lock:
+        if _cache is None or _cache_root != root:
+            _cache = DiskCache(root)
+            _cache_root = root
+        return _cache
 
 
 def set_cache_dir(path: Optional[str]) -> None:

@@ -37,6 +37,7 @@ __all__ = [
     "CacheCorruptionError",
     "ExecutionFallbackError",
     "NetworkPlanError",
+    "ServiceError",
     "EXIT_CODES",
     "exit_code_for",
     "error_classes",
@@ -164,6 +165,19 @@ class NetworkPlanError(ReproError):
     action = "check the network builder's tensor names and the replay inputs"
 
 
+class ServiceError(ReproError):
+    """The compile service could not accept or complete a request for a
+    reason outside the compilation pipeline itself: a malformed request,
+    a full queue, a shut-down daemon, or a wire-protocol violation.
+
+    Failures *inside* a request's compilation keep their own classes —
+    the service reports them per-request with their usual exit codes,
+    and the daemon itself stays up.
+    """
+
+    action = "check the request payload and that akgd is running; see the daemon log"
+
+
 #: CLI exit codes, one per class, documented in the README.  1 is left to
 #: argparse/unexpected errors; 2 is the generic typed failure.
 EXIT_CODES: Dict[Type[ReproError], int] = {
@@ -177,6 +191,7 @@ EXIT_CODES: Dict[Type[ReproError], int] = {
     CacheCorruptionError: 9,
     ExecutionFallbackError: 10,
     NetworkPlanError: 11,
+    ServiceError: 12,
 }
 
 
@@ -203,5 +218,6 @@ def error_classes() -> Dict[str, Type[ReproError]]:
             CacheCorruptionError,
             ExecutionFallbackError,
             NetworkPlanError,
+            ServiceError,
         )
     }

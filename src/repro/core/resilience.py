@@ -24,13 +24,18 @@ fallbacks, recording each step.  Genuine bugs propagate unchanged; if
 every rung fails, the last typed error is re-raised so the CLI can map
 it to its exit code.
 
-Everything here is deliberately thread-unaware process-global state: the
-compiler is single-threaded per process (the parallel tuner uses
-*processes*), matching how perf counters already work.
+Concurrency: the deadline stack, the budget stack and the report stack
+are **thread-local** — the compile service runs one request per worker
+thread, and each request needs its own budget scope and its own report
+(request A's deadline must never fire inside request B's solver loop).
+The cross-compilation *totals* are process-global behind a lock, same
+contract as the perf counters.  Worker *processes* (the parallel tuner)
+each keep their own copies, as before.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -42,6 +47,7 @@ __all__ = [
     "stage_scope",
     "check_deadline",
     "active_stage",
+    "active_stage_names",
     "solver_node_budget",
     "fm_constraint_budget",
     "backdate_deadline",
@@ -91,21 +97,49 @@ class StageBudget:
 # -- deadline stack ---------------------------------------------------------------
 #
 # Each entry is [stage_name, deadline_or_None, start_time].  A list (not a
-# tuple) so fault injection can backdate the deadline in place.
+# tuple) so fault injection can backdate the deadline in place.  The
+# stacks live in thread-local storage: every service worker thread (and
+# the main thread) carries its own scopes and reports.
 
-_STAGES: List[List[Any]] = []
+_TLS = threading.local()
 
-# Budget currently in force (pushed alongside the outermost stage scope).
-_BUDGETS: List[StageBudget] = []
+
+def _stage_frames() -> List[List[Any]]:
+    frames = getattr(_TLS, "stages", None)
+    if frames is None:
+        frames = _TLS.stages = []
+    return frames
+
+
+def _budget_frames() -> List[StageBudget]:
+    frames = getattr(_TLS, "budgets", None)
+    if frames is None:
+        frames = _TLS.budgets = []
+    return frames
+
+
+def _report_frames() -> List["ResilienceReport"]:
+    frames = getattr(_TLS, "reports", None)
+    if frames is None:
+        frames = _TLS.reports = []
+    return frames
 
 
 def active_stage() -> Optional[str]:
     """Name of the innermost active stage scope (None outside any stage)."""
-    return _STAGES[-1][0] if _STAGES else None
+    frames = _stage_frames()
+    return frames[-1][0] if frames else None
+
+
+def active_stage_names() -> List[str]:
+    """Names of every stage scope active on *this* thread, outermost
+    first (the fault harness matches ``@stage`` filters against these)."""
+    return [frame[0] for frame in _stage_frames()]
 
 
 def active_budget() -> Optional[StageBudget]:
-    return _BUDGETS[-1] if _BUDGETS else None
+    frames = _budget_frames()
+    return frames[-1] if frames else None
 
 
 @contextmanager
@@ -122,15 +156,17 @@ def stage_scope(name: str, budget: Optional[StageBudget] = None):
     deadline = None
     if budget is not None and budget.stage_seconds is not None:
         deadline = now + budget.stage_seconds
-    _STAGES.append([name, deadline, now])
+    stages = _stage_frames()
+    budgets = _budget_frames()
+    stages.append([name, deadline, now])
     if budget is not None:
-        _BUDGETS.append(budget)
+        budgets.append(budget)
     try:
         yield
     finally:
-        _STAGES.pop()
+        stages.pop()
         if budget is not None:
-            _BUDGETS.pop()
+            budgets.pop()
 
 
 def check_deadline() -> None:
@@ -139,10 +175,11 @@ def check_deadline() -> None:
     Near-free when no deadline is active.  Checks *every* enclosing
     stage scope so a nested ladder rung cannot outlive its parent stage.
     """
-    if not _STAGES:
+    stages = _stage_frames()
+    if not stages:
         return
     now = None
-    for name, deadline, start in _STAGES:
+    for name, deadline, start in stages:
         if deadline is None:
             continue
         if now is None:
@@ -178,7 +215,7 @@ def backdate_deadline() -> bool:
     next :func:`check_deadline` raises, exercising the real timeout
     path.  Returns False when no deadline is active to backdate.
     """
-    for frame in reversed(_STAGES):
+    for frame in reversed(_stage_frames()):
         if frame[1] is not None:
             frame[1] = time.monotonic() - 1.0
             return True
@@ -188,7 +225,10 @@ def backdate_deadline() -> bool:
 # -- reports & counters -----------------------------------------------------------
 
 # Process-global totals across all compilations (mirrors perf counters).
+# Shared by every thread, hence the lock: a bare dict read-modify-write
+# from concurrent service workers would drop counts.
 _TOTALS: Dict[str, int] = {}
+_TOTALS_LOCK = threading.Lock()
 
 
 class ResilienceReport:
@@ -242,30 +282,30 @@ class ResilienceReport:
         return f"ResilienceReport({len(self.events)} events)"
 
 
-_REPORTS: List[ResilienceReport] = []
-
-
 def active_report() -> Optional[ResilienceReport]:
-    return _REPORTS[-1] if _REPORTS else None
+    frames = _report_frames()
+    return frames[-1] if frames else None
 
 
 @contextmanager
 def collect():
-    """Collect degradation events into a fresh report.
+    """Collect degradation events into a fresh report (per thread).
 
     Nested ``collect()`` scopes share the outermost report, so helper
     entry points (``backend_build`` called from ``build``) do not shear
-    events into separate reports.
+    events into separate reports.  Reports are thread-local: concurrent
+    service requests each collect their own events.
     """
-    if _REPORTS:
-        yield _REPORTS[-1]
+    frames = _report_frames()
+    if frames:
+        yield frames[-1]
         return
     report = ResilienceReport()
-    _REPORTS.append(report)
+    frames.append(report)
     try:
         yield report
     finally:
-        _REPORTS.pop()
+        frames.pop()
 
 
 def note_event(
@@ -283,7 +323,8 @@ def note_event(
     per-tile events that would otherwise flood the report).
     """
     key = f"{stage}.{kind}" if fallback is None else f"{stage}.{kind}:{fallback}"
-    _TOTALS[key] = _TOTALS.get(key, 0) + 1
+    with _TOTALS_LOCK:
+        _TOTALS[key] = _TOTALS.get(key, 0) + 1
     report = active_report()
     if report is None:
         return
@@ -302,11 +343,13 @@ def note_event(
 
 def resilience_stats() -> Dict[str, int]:
     """Process-global degradation counters (for ``perf.report()``)."""
-    return dict(_TOTALS)
+    with _TOTALS_LOCK:
+        return dict(_TOTALS)
 
 
 def reset_resilience_stats() -> None:
-    _TOTALS.clear()
+    with _TOTALS_LOCK:
+        _TOTALS.clear()
 
 
 # -- the ladder -------------------------------------------------------------------

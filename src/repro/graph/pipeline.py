@@ -67,6 +67,7 @@ def compile_network(
     workers: Optional[int] = None,
     seed: int = 0,
     tune_params: Optional[Dict[str, int]] = None,
+    service=None,
 ) -> CompiledNetwork:
     """Compile a whole network into an executable :class:`NetworkPlan`.
 
@@ -74,6 +75,14 @@ def compile_network(
     measuring every tuner's candidate batches concurrently on one shared
     :class:`~repro.autotune.parallel.MultiKernelMeasurer` process pool
     (``workers`` processes), then compiles at the best sizes.
+
+    ``service`` (a :class:`repro.service.CompileService`) routes the
+    unique-subgraph compiles through the compile daemon as one request
+    batch instead of building inline: duplicates coalesce with whatever
+    else the service is building, and a warm service answers from its
+    memo.  Results are identical either way (the service calls the same
+    ``build``); a failed request re-raises its original typed error
+    here, so error behaviour matches the inline path too.
 
     Must not run inside an enclosing ``resilience.collect()`` scope:
     each subgraph build needs its *own* report so the per-kernel
@@ -118,25 +127,53 @@ def compile_network(
     base_options = copy.copy(options) if options is not None else None
     plan_report = ResilienceReport()
     programs: Dict[str, object] = {}
+
+    def _subgraph_options(digest: str) -> AkgOptions:
+        opts = copy.copy(base_options) if base_options else None
+        opts = opts or AkgOptions()
+        opts.emit_trace = True
+        sizes = tile_overrides.get(digest)
+        if sizes is not None:
+            opts.tile_sizes = list(sizes)
+        return opts
+
     with perf.stage("graph.compile_subgraphs"):
+        if service is not None:
+            # Submit the whole unique set up front, then collect in
+            # order — the service overlaps queue admission with builds
+            # and coalesces against anything it is already compiling.
+            from repro.service.core import ServiceRequest
+
+            tickets = [
+                service.submit(
+                    ServiceRequest(
+                        "compile",
+                        unique[digest].canonical_outputs,
+                        name=f"sg_{digest[:12]}",
+                        hw=hw,
+                        options=_subgraph_options(digest),
+                    )
+                )
+                for digest in order
+            ]
+            for digest, ticket in zip(order, tickets):
+                res = ticket.result()
+                res.raise_for_error()
+                programs[digest] = res.value["result"]
+        else:
+            for digest in order:
+                spec = unique[digest]
+                # Called directly (not under an outer collect): build's
+                # own report decides disk-cache eligibility for *this*
+                # subgraph.
+                programs[digest] = build(
+                    spec.canonical_outputs,
+                    name=f"sg_{digest[:12]}",
+                    hw=hw,
+                    options=_subgraph_options(digest),
+                )
         for digest in order:
-            spec = unique[digest]
-            opts = copy.copy(base_options) if base_options else None
-            opts = opts or AkgOptions()
-            opts.emit_trace = True
-            sizes = tile_overrides.get(digest)
-            if sizes is not None:
-                opts.tile_sizes = list(sizes)
-            # Called directly (not under an outer collect): build's own
-            # report decides disk-cache eligibility for *this* subgraph.
-            result = build(
-                spec.canonical_outputs,
-                name=f"sg_{digest[:12]}",
-                hw=hw,
-                options=opts,
-            )
-            programs[digest] = result
-            for event in result.resilience.events:
+            for event in programs[digest].resilience.events:
                 plan_report.events.append(dict(event))
 
     plan = _wire_plan(

@@ -19,12 +19,16 @@ which the staged-pipeline equivalence tests rely on.
 
 Caches are process-global.  Worker processes of the parallel auto-tuner
 each grow their own copy (the cache is warm within a worker, cold across
-them) — no cross-process synchronisation is needed or attempted.
+them) — no cross-process synchronisation is needed or attempted.  Worker
+*threads* of the compile service share one copy, so each cache guards
+its table and counters with a lock: the solve results stored are never
+mutated after insertion, which makes sharing the values themselves safe.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Dict, Hashable, Optional
 
 __all__ = [
@@ -47,7 +51,7 @@ class SolveCache:
     to LRU for the highly repetitive solve streams seen here).
     """
 
-    __slots__ = ("name", "maxsize", "enabled", "hits", "misses", "_data")
+    __slots__ = ("name", "maxsize", "enabled", "hits", "misses", "_data", "_lock")
 
     def __init__(self, name: str, maxsize: int = 200_000):
         self.name = name
@@ -56,46 +60,52 @@ class SolveCache:
         self.hits = 0
         self.misses = 0
         self._data: Dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
 
     def lookup(self, key: Hashable) -> Optional[Any]:
         """Return the cached value or ``None`` (and count the outcome)."""
         if not self.enabled:
             return None
-        value = self._data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return value
 
     def store(self, key: Hashable, value: Any) -> None:
         """Insert one entry, evicting the oldest when full."""
         if not self.enabled:
             return
-        if len(self._data) >= self.maxsize:
-            self._data.pop(next(iter(self._data)))
-        self._data[key] = value
+        with self._lock:
+            if len(self._data) >= self.maxsize:
+                self._data.pop(next(iter(self._data)))
+            self._data[key] = value
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def reset_stats(self) -> None:
         """Zero the counters while keeping the memoized entries."""
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> Dict[str, float]:
         """Counters plus derived hit rate (0.0 when never queried)."""
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._data),
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._data),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
 
     def __len__(self) -> int:
         return len(self._data)

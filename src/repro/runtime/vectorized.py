@@ -46,6 +46,7 @@ into the scalar path.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
@@ -105,35 +106,41 @@ _STATS = {
     "program_replays": 0,
 }
 _FALLBACK_REASONS: Dict[str, int] = {}
+_STATS_LOCK = threading.Lock()
 
 
 def reset_exec_stats() -> None:
     """Zero the engine counters (tests and benchmarks)."""
-    for key in _STATS:
-        _STATS[key] = 0
-    _FALLBACK_REASONS.clear()
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
+        _FALLBACK_REASONS.clear()
 
 
 def exec_stats() -> Dict[str, object]:
     """Snapshot of per-engine statement counts and fallback reasons."""
-    snap: Dict[str, object] = dict(_STATS)
-    snap["fallback_reasons"] = dict(_FALLBACK_REASONS)
+    with _STATS_LOCK:
+        snap: Dict[str, object] = dict(_STATS)
+        snap["fallback_reasons"] = dict(_FALLBACK_REASONS)
     return snap
 
 
 def _note_fallback(reason: str) -> None:
-    _STATS["scalar_fallback"] += 1
-    _FALLBACK_REASONS[reason] = _FALLBACK_REASONS.get(reason, 0) + 1
+    with _STATS_LOCK:
+        _STATS["scalar_fallback"] += 1
+        _FALLBACK_REASONS[reason] = _FALLBACK_REASONS.get(reason, 0) + 1
 
 
 def note_replay() -> None:
     """Credit one compiled-program replay invocation (ProgramReplay.run)."""
-    _STATS["program_replays"] += 1
+    with _STATS_LOCK:
+        _STATS["program_replays"] += 1
 
 
 def note_vectorized(seconds: float) -> None:
     """Credit one vectorized statement execution (used by replay too)."""
-    _STATS["vectorized"] += 1
+    with _STATS_LOCK:
+        _STATS["vectorized"] += 1
     perf.add("exec.vectorized", seconds)
 
 
@@ -652,7 +659,8 @@ def run_statement(
     if engine == "auto" and stmt.instance_count() < AUTO_VECTORIZE_MIN_INSTANCES:
         start = time.perf_counter()
         reference.run_statement(stmt, buffers)
-        _STATS["scalar_small"] += 1
+        with _STATS_LOCK:
+            _STATS["scalar_small"] += 1
         perf.add("exec.scalar_small", time.perf_counter() - start)
         return
     start = time.perf_counter()

@@ -1,0 +1,31 @@
+"""``akgd``: the compile service.
+
+A long-lived process that accepts compile / tune / replay requests,
+coalesces concurrent duplicates into one build, and executes on a
+bounded worker pool — the daemon-shaped front door to the same staged
+pipeline ``akgc`` drives one kernel at a time.  See DESIGN.md §3.6.
+
+Layering:
+
+- :mod:`repro.service.core`    the in-process service (queue, coalescing,
+  workers, per-request typed errors) — everything testable without
+  sockets;
+- :mod:`repro.service.wire`    the JSON wire schema (demo-kernel
+  vocabulary shared with ``akgc``, request parsing, result rendering);
+- :mod:`repro.service.server`  the JSON-lines TCP daemon;
+- :mod:`repro.service.client`  the matching client.
+"""
+
+from repro.service.core import (
+    CompileService,
+    ServiceRequest,
+    ServiceResult,
+    Ticket,
+)
+
+__all__ = [
+    "CompileService",
+    "ServiceRequest",
+    "ServiceResult",
+    "Ticket",
+]

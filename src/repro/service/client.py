@@ -1,0 +1,84 @@
+"""A small blocking client for the akgd JSON-lines protocol.
+
+Each :meth:`ServiceClient.request` opens a fresh connection, sends one
+line and reads one line back — stateless on the wire, so a client
+object can be shared across threads (the load bench drives one from 16
+closed-loop client threads).  Connection and protocol failures raise
+:class:`~repro.core.errors.ServiceError`; per-request compilation
+failures come back as normal response dicts with ``ok: false``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 120.0):
+        if not port:
+            raise ServiceError("ServiceClient needs the daemon's port")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request → one response dict (raises ServiceError on I/O)."""
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as sock:
+                sock.sendall(json.dumps(payload).encode() + b"\n")
+                reader = sock.makefile("rb")
+                line = reader.readline()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach akgd at {self.host}:{self.port}: {exc}"
+            )
+        if not line:
+            raise ServiceError(
+                f"akgd at {self.host}:{self.port} closed the connection"
+            )
+        try:
+            return json.loads(line.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"bad response from akgd: {exc}")
+
+    # -- conveniences -------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"kind": "ping"}).get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"kind": "stats"}).get("stats", {})
+
+    def shutdown(self) -> bool:
+        return bool(self.request({"kind": "shutdown"}).get("stopping"))
+
+    def compile(
+        self,
+        op: str,
+        shape: List[int],
+        dtype: str = "fp16",
+        name: Optional[str] = None,
+        options: Optional[Dict[str, Any]] = None,
+        fault_spec: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": "compile",
+            "op": op,
+            "shape": list(shape),
+            "dtype": dtype,
+        }
+        if name:
+            payload["name"] = name
+        if options:
+            payload["options"] = options
+        if fault_spec:
+            payload["fault_spec"] = fault_spec
+        return self.request(payload)

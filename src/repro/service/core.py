@@ -1,0 +1,564 @@
+"""The in-process compile service: queue, coalescing, worker pool.
+
+:class:`CompileService` is the heart of ``akgd``.  Callers
+:meth:`~CompileService.submit` a :class:`ServiceRequest` and get a
+:class:`Ticket` back immediately; a bounded pool of worker threads
+drains the queue and fulfils each ticket with a :class:`ServiceResult`.
+Three properties make it a *service* rather than a loop:
+
+**In-flight coalescing.**  Every fingerprintable request carries a
+content digest (the same IR/hw/options fingerprints the disk cache keys
+off).  While a build for digest D is queued or running, further
+submissions of D attach to it instead of enqueueing — N concurrent
+clients compiling the same kernel cost one compilation, and all N
+tickets resolve to the same result object (bit-identical by
+construction).  Completed results additionally stay in a bounded
+in-memory memo, so a warm service answers repeats without touching the
+queue at all (no unpickling, no re-simulation — this, not thread
+parallelism, is where the measured throughput win comes from; the
+workers themselves are GIL-bound).
+
+**Failure isolation.**  A request that fails — typed pipeline error,
+injected fault, even an unexpected exception — fulfils *its* ticket
+with an error result carrying the class name, message and documented
+exit code.  The worker thread survives, the queue keeps draining, and
+concurrent requests are untouched.  Requests with a ``fault_spec``
+install it thread-locally for the duration of their execution
+(:mod:`repro.tools.faultinject`), so injected chaos cannot leak into a
+sibling worker, and such requests are never coalesced or memoized.
+
+**Budget enforcement.**  Requests without an explicit stage deadline
+inherit the service default (``default_stage_seconds``), so one
+pathological kernel times out with a typed per-request error instead of
+wedging a worker forever.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import queue
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import ReproError, ServiceError, exit_code_for
+from repro.tools import perf
+
+__all__ = ["ServiceRequest", "ServiceResult", "Ticket", "CompileService"]
+
+#: Request kinds the service executes.
+KINDS = ("compile", "tune", "replay")
+
+#: Tuning parameters applied when a tune request does not override them
+#: (small: a service answers interactively, deep searches belong to the
+#: offline tuner).
+DEFAULT_TUNE_PARAMS: Dict[str, Any] = {
+    "first_round": 6,
+    "round_size": 3,
+    "max_rounds": 2,
+}
+
+
+class ServiceRequest:
+    """One unit of work for the service.
+
+    ``outputs`` is the tensor-expression DAG exactly as
+    :func:`repro.core.compiler.build` accepts it.  ``options``/``hw``
+    default like the direct pipeline entry points.  ``fault_spec``, when
+    set, is installed thread-locally around this request's execution
+    only.  ``inputs`` (replay) maps input names to arrays; when None the
+    replay handler draws seeded random inputs, so a wire client can
+    request a reproducible replay without shipping tensors.
+    """
+
+    __slots__ = (
+        "kind",
+        "outputs",
+        "name",
+        "hw",
+        "options",
+        "fault_spec",
+        "tune_params",
+        "inputs",
+        "seed",
+        "engine",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        outputs: Any,
+        name: str = "kernel",
+        hw: Any = None,
+        options: Any = None,
+        fault_spec: Optional[str] = None,
+        tune_params: Optional[Dict[str, Any]] = None,
+        inputs: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+        engine: str = "auto",
+    ):
+        if kind not in KINDS:
+            raise ServiceError(f"unknown request kind {kind!r} (known: {KINDS})")
+        self.kind = kind
+        self.outputs = outputs
+        self.name = name
+        self.hw = hw
+        self.options = options
+        self.fault_spec = fault_spec
+        self.tune_params = tune_params
+        self.inputs = inputs
+        self.seed = seed
+        self.engine = engine
+
+    def coalescing_key(self) -> Optional[str]:
+        """Content digest under which concurrent duplicates merge.
+
+        Mirrors the disk-cache key composition (IR + hardware + scheduler
+        + backend options fingerprints) extended with the request kind and
+        kind-specific parameters.  ``None`` — unfingerprintable IR, or a
+        ``fault_spec`` request (injected faults are per-request by
+        definition; sharing a faulted build would leak the fault into an
+        innocent ticket) — disables coalescing and memoization.
+        """
+        if self.fault_spec:
+            return None
+        from repro.core import diskcache
+        from repro.core.compiler import AkgOptions
+        from repro.hw.spec import HardwareSpec
+
+        options = self.options or AkgOptions()
+        try:
+            parts = [
+                "service",
+                self.kind,
+                diskcache.ir_fingerprint(self.outputs),
+                self.name,
+                diskcache.hw_fingerprint(self.hw or HardwareSpec()),
+                diskcache.scheduler_fingerprint(options.scheduler),
+                diskcache.options_fingerprint(options),
+            ]
+        except diskcache.FingerprintError:
+            return None
+        if self.kind == "tune":
+            merged = dict(DEFAULT_TUNE_PARAMS)
+            merged.update(self.tune_params or {})
+            parts.append(repr(sorted(merged.items())))
+        elif self.kind == "replay":
+            parts.append(f"engine={self.engine}")
+            if self.inputs is None:
+                parts.append(f"seed={self.seed}")
+            else:
+                for iname in sorted(self.inputs):
+                    array = self.inputs[iname]
+                    h = hashlib.sha256(array.tobytes()).hexdigest()
+                    parts.append(f"{iname}:{array.dtype}:{array.shape}:{h}")
+        return diskcache.digest(*parts)
+
+    def __repr__(self) -> str:
+        return f"ServiceRequest({self.kind}, {self.name!r})"
+
+
+class ServiceResult:
+    """The outcome of one request (shared by every coalesced ticket).
+
+    ``ok`` results carry ``value`` (handler-specific payload, always
+    including the full in-process objects — the wire layer summarises).
+    Failed results carry ``error`` (a JSON-able dict with ``type``,
+    ``message``, ``exit_code``, ``action``) plus ``error_exc``, the
+    original exception object, so in-process callers can re-raise with
+    full fidelity.  ``coalesced``/``cached`` are per-ticket flags set on
+    the copy each ticket hands out.
+    """
+
+    __slots__ = (
+        "ok",
+        "kind",
+        "request_id",
+        "value",
+        "error",
+        "error_exc",
+        "coalesced",
+        "cached",
+        "queue_seconds",
+        "run_seconds",
+    )
+
+    def __init__(self, kind: str, request_id: int):
+        self.ok = False
+        self.kind = kind
+        self.request_id = request_id
+        self.value: Optional[Dict[str, Any]] = None
+        self.error: Optional[Dict[str, Any]] = None
+        self.error_exc: Optional[BaseException] = None
+        self.coalesced = False
+        self.cached = False
+        self.queue_seconds = 0.0
+        self.run_seconds = 0.0
+
+    def raise_for_error(self) -> None:
+        """Re-raise the request's failure (no-op on success)."""
+        if self.ok:
+            return
+        if self.error_exc is not None:
+            raise self.error_exc
+        message = (self.error or {}).get("message", "request failed")
+        raise ServiceError(message)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else (self.error or {}).get("type", "error")
+        return f"ServiceResult(#{self.request_id} {self.kind}: {status})"
+
+
+class _InFlight:
+    """Bookkeeping for one queued-or-running build (one per digest)."""
+
+    __slots__ = ("digest", "request", "event", "result", "waiters", "enqueued_at")
+
+    def __init__(self, digest: Optional[str], request: ServiceRequest):
+        self.digest = digest
+        self.request = request
+        self.event = threading.Event()
+        self.result: Optional[ServiceResult] = None
+        self.waiters = 1
+        self.enqueued_at = time.perf_counter()
+
+
+class Ticket:
+    """A claim on one request's eventual result.
+
+    ``result()`` blocks until the (possibly shared) build finishes and
+    returns a per-ticket view of the :class:`ServiceResult` with the
+    ``coalesced``/``cached`` flags describing *this* submission's path.
+    """
+
+    __slots__ = ("_entry", "_done", "coalesced", "cached")
+
+    def __init__(
+        self,
+        entry: Optional[_InFlight],
+        done: Optional[ServiceResult] = None,
+        coalesced: bool = False,
+        cached: bool = False,
+    ):
+        self._entry = entry
+        self._done = done
+        self.coalesced = coalesced
+        self.cached = cached
+
+    def done(self) -> bool:
+        if self._done is not None:
+            return True
+        return self._entry.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServiceResult:
+        if self._done is None:
+            if not self._entry.event.wait(timeout):
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for request "
+                    f"#{self._entry.request and id(self._entry.request)}"
+                )
+            self._done = self._entry.result
+        view = copy.copy(self._done)
+        view.coalesced = self.coalesced
+        view.cached = self.cached
+        return view
+
+
+#: Queue sentinel that tells one worker thread to exit.
+_STOP = object()
+
+
+class CompileService:
+    """Bounded-queue, coalescing, multi-worker compile service.
+
+    ``workers`` threads drain a queue of at most ``queue_size`` pending
+    builds; ``memo_size`` bounds the completed-result LRU.  Constructed
+    started; ``autostart=False`` defers the workers until
+    :meth:`start` — tests use this to stage deterministic coalescing
+    races.  Usable as a context manager (``close`` on exit).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_size: int = 256,
+        memo_size: int = 128,
+        default_stage_seconds: Optional[float] = 120.0,
+        autostart: bool = True,
+    ):
+        self.workers = workers or 4
+        self.memo_size = memo_size
+        self.default_stage_seconds = default_stage_seconds
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _InFlight] = {}
+        self._memo: "OrderedDict[str, ServiceResult]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        self._started = False
+        self._stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "coalesced": 0,
+            "memo_hits": 0,
+            "rejected": 0,
+        }
+        self._handlers: Dict[str, Callable[[ServiceRequest], Dict[str, Any]]] = {
+            "compile": self._handle_compile,
+            "tune": self._handle_tune,
+            "replay": self._handle_replay,
+        }
+        if autostart:
+            self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        with self._lock:
+            if self._started or self._closed:
+                return
+            self._started = True
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"akgd-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the workers down.
+
+        The queue is FIFO, so with ``wait=True`` every build enqueued
+        before ``close`` still completes (the stop sentinels sit behind
+        them); pending tickets are never abandoned.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if not started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, request: ServiceRequest) -> Ticket:
+        """Enqueue (or coalesce, or memo-answer) one request.
+
+        Raises :class:`~repro.core.errors.ServiceError` when the service
+        is closed or the queue is full — admission failures are the
+        *submitter's* typed error; queued requests always get a result.
+        """
+        digest = request.coalescing_key()
+        entry: Optional[_InFlight] = None
+        with self._lock:
+            if self._closed:
+                raise ServiceError("compile service is closed")
+            self._stats["submitted"] += 1
+            if digest is not None:
+                memo = self._memo.get(digest)
+                if memo is not None:
+                    self._memo.move_to_end(digest)
+                    self._stats["memo_hits"] += 1
+                    perf.add("service.memo_hit", 0.0)
+                    return Ticket(None, done=memo, cached=True)
+                running = self._inflight.get(digest)
+                if running is not None:
+                    running.waiters += 1
+                    self._stats["coalesced"] += 1
+                    perf.add("service.coalesced", 0.0)
+                    return Ticket(running, coalesced=True)
+            entry = _InFlight(digest, request)
+            if digest is not None:
+                self._inflight[digest] = entry
+        try:
+            self._queue.put_nowait(entry)
+        except queue.Full:
+            with self._lock:
+                if digest is not None:
+                    self._inflight.pop(digest, None)
+                self._stats["rejected"] += 1
+            raise ServiceError(
+                f"compile service queue is full ({self._queue.maxsize} pending)"
+            )
+        return Ticket(entry)
+
+    def submit_many(self, requests: List[ServiceRequest]) -> List[Ticket]:
+        """Submit a batch; duplicates inside the batch coalesce too."""
+        return [self.submit(r) for r in requests]
+
+    def run(
+        self, request: ServiceRequest, timeout: Optional[float] = None
+    ) -> ServiceResult:
+        """Submit and block for the result (the daemon's per-connection path)."""
+        return self.submit(request).result(timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus live queue/memo/in-flight depths."""
+        with self._lock:
+            snap: Dict[str, Any] = dict(self._stats)
+            snap["inflight"] = len(self._inflight)
+            snap["memo_entries"] = len(self._memo)
+        snap["queue_depth"] = self._queue.qsize()
+        snap["workers"] = self.workers
+        return snap
+
+    # -- execution ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is _STOP:
+                return
+            try:
+                self._execute(entry)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, entry: _InFlight) -> None:
+        from repro.tools import faultinject
+
+        request = entry.request
+        result = ServiceResult(request.kind, next(self._ids))
+        started = time.perf_counter()
+        result.queue_seconds = started - entry.enqueued_at
+        try:
+            if request.fault_spec:
+                faultinject.set_spec(request.fault_spec)
+            result.value = self._handlers[request.kind](request)
+            result.ok = True
+        except ReproError as exc:
+            result.error = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "exit_code": exit_code_for(exc),
+                "action": exc.action,
+            }
+            result.error_exc = exc
+        except Exception as exc:  # noqa: BLE001 - the daemon must survive
+            result.error = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "exit_code": 1,
+                "action": "unexpected failure; see the daemon log",
+            }
+            result.error_exc = exc
+        finally:
+            if request.fault_spec:
+                faultinject.set_spec(None)
+        result.run_seconds = time.perf_counter() - started
+        perf.add("service.request", result.run_seconds)
+        with self._lock:
+            self._stats["completed" if result.ok else "failed"] += 1
+            if entry.digest is not None:
+                self._inflight.pop(entry.digest, None)
+                # Only healthy results are worth remembering: a failure
+                # may be environmental (full disk, injected chaos) and a
+                # retry deserves a fresh attempt.
+                if result.ok:
+                    self._memo[entry.digest] = result
+                    while len(self._memo) > self.memo_size:
+                        self._memo.popitem(last=False)
+        entry.result = result
+        entry.event.set()
+
+    def _effective_options(self, request: ServiceRequest):
+        """The request's options with the service default deadline applied.
+
+        Copies before mutating (callers may share one options object
+        across requests); an explicit per-request ``stage_seconds``
+        always wins over the service default.
+        """
+        from repro.core.compiler import AkgOptions
+        from repro.core.resilience import StageBudget
+
+        options = copy.copy(request.options) if request.options else AkgOptions()
+        if (
+            self.default_stage_seconds is not None
+            and options.budget.stage_seconds is None
+        ):
+            budget = options.budget
+            options.budget = StageBudget(
+                stage_seconds=self.default_stage_seconds,
+                solver_nodes=budget.solver_nodes,
+                fm_constraints=budget.fm_constraints,
+            )
+        return options
+
+    # -- handlers -----------------------------------------------------------
+
+    def _handle_compile(self, request: ServiceRequest) -> Dict[str, Any]:
+        from repro.core.compiler import build
+
+        options = self._effective_options(request)
+        result = build(request.outputs, request.name, hw=request.hw, options=options)
+        report = result.simulate()
+        return {
+            "result": result,
+            "cycles": report.total_cycles,
+            "dma_bytes": report.dma_bytes,
+            "tile_sizes": list(result.tile_sizes),
+            "degraded": bool(result.resilience.degraded),
+        }
+
+    def _handle_tune(self, request: ServiceRequest) -> Dict[str, Any]:
+        from repro.autotune.tuner import tune_tile_sizes
+
+        params = dict(DEFAULT_TUNE_PARAMS)
+        params.update(request.tune_params or {})
+        best, records = tune_tile_sizes(
+            request.outputs, request.name, hw=request.hw, **params
+        )
+        return {
+            "best_sizes": list(best),
+            "candidates": len(records),
+            "best_cycles": min(
+                (r.cycles for r in records if r.cycles is not None), default=None
+            ),
+        }
+
+    def _handle_replay(self, request: ServiceRequest) -> Dict[str, Any]:
+        from repro.core.compiler import build
+
+        options = self._effective_options(request)
+        options.emit_trace = True
+        result = build(request.outputs, request.name, hw=request.hw, options=options)
+        inputs = request.inputs
+        if inputs is None:
+            inputs = _seeded_inputs(result.kernel, request.seed)
+        outputs = result.execute(inputs, engine=request.engine)
+        return {"result": result, "outputs": outputs, "inputs": inputs}
+
+
+def _seeded_inputs(kernel, seed: int) -> Dict[str, Any]:
+    """Deterministic random inputs for a lowered kernel (wire replays)."""
+    import numpy as np
+
+    from repro.runtime.reference import numpy_dtype
+
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for t in kernel.inputs:
+        dt = numpy_dtype(t.dtype)
+        if dt.kind == "i":
+            inputs[t.name] = rng.integers(0, 7, size=t.shape).astype(dt)
+        else:
+            inputs[t.name] = rng.standard_normal(t.shape).astype(dt)
+    return inputs

@@ -1,0 +1,128 @@
+"""The akgd daemon: a JSON-lines TCP front end over :class:`CompileService`.
+
+One connection may carry any number of newline-delimited JSON requests;
+each gets exactly one newline-delimited JSON response, in order.
+Connections are handled on threads (``socketserver.ThreadingTCPServer``)
+that block in ``service.run`` — admission control, coalescing and the
+worker pool all live in the service, so the socket layer stays a thin
+codec.  A malformed line or unparsable request answers with a
+:class:`~repro.core.errors.ServiceError` body (exit code 12) and the
+connection — and the daemon — live on.
+
+Control verbs (handled here, not queued):
+
+- ``{"kind": "ping"}``      → ``{"ok": true, "pong": true}``
+- ``{"kind": "stats"}``     → ``{"ok": true, "stats": {...}}``
+- ``{"kind": "shutdown"}``  → ``{"ok": true, "stopping": true}`` and the
+  daemon drains its queue and exits.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.core.errors import ServiceError
+from repro.service import wire
+from repro.service.core import CompileService
+
+__all__ = ["AkgdServer", "serve"]
+
+#: Cap on one request line; a run-away client cannot balloon the daemon.
+MAX_LINE_BYTES = 1 << 20
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "AkgdServer" = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            line = line.strip()
+            if not line:
+                continue
+            response = server.handle_line(line)
+            try:
+                self.wfile.write(json.dumps(response).encode() + b"\n")
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                return
+            if response.get("stopping"):
+                return
+
+
+class AkgdServer(socketserver.ThreadingTCPServer):
+    """The daemon socket server; owns (but does not create) the service."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: CompileService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.request_timeout: Optional[float] = None
+
+    # -- request routing ----------------------------------------------------
+
+    def handle_line(self, line: bytes) -> dict:
+        """One wire request → one response dict (never raises)."""
+        try:
+            payload = json.loads(line.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return wire.error_to_json(ServiceError(f"bad JSON: {exc}"))
+        if isinstance(payload, dict):
+            kind = payload.get("kind")
+            if kind == "ping":
+                return {"ok": True, "pong": True}
+            if kind == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            if kind == "shutdown":
+                self.initiate_shutdown()
+                return {"ok": True, "stopping": True}
+        try:
+            request = wire.request_from_json(payload)
+            result = self.service.run(request, timeout=self.request_timeout)
+        except ServiceError as exc:
+            return wire.error_to_json(exc)
+        except Exception as exc:  # noqa: BLE001 - the daemon must survive
+            return wire.error_to_json(exc)
+        return wire.result_to_json(result)
+
+    def initiate_shutdown(self) -> None:
+        """Stop the accept loop from a handler thread (non-blocking)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+    queue_size: int = 256,
+    default_stage_seconds: Optional[float] = 120.0,
+    ready_callback=None,
+) -> None:
+    """Run a daemon until a ``shutdown`` request arrives.
+
+    ``port=0`` binds an ephemeral port; ``ready_callback(host, port)``
+    fires once the socket is listening (the CLI writes its ready-file
+    there), so launchers never poll.
+    """
+    service = CompileService(
+        workers=workers,
+        queue_size=queue_size,
+        default_stage_seconds=default_stage_seconds,
+    )
+    with AkgdServer((host, port), service) as server:
+        bound_host, bound_port = server.server_address[:2]
+        if ready_callback is not None:
+            ready_callback(bound_host, bound_port)
+        try:
+            server.serve_forever(poll_interval=0.1)
+        finally:
+            service.close()

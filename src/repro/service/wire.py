@@ -1,0 +1,226 @@
+"""The akgd wire schema: JSON requests in, JSON results out.
+
+One request per line, one response per line (JSON-lines over TCP — see
+:mod:`repro.service.server`).  The kernel vocabulary is the demo-op set
+``akgc`` compiles (relu / add / softmax / matmul / conv2d), built here by
+:func:`demo_kernel` so the CLI and the daemon can never drift apart.
+
+Request schema (``kind`` defaults to ``compile``)::
+
+    {"kind": "compile", "op": "matmul", "shape": [64, 64, 64],
+     "dtype": "fp16", "name": "...",
+     "options": {"tile_policy": ..., "sync_policy": "dp",
+                 "no_fusion": false, "stage_timeout": 30.0,
+                 "solver_budget": 50000},
+     "fault_spec": "storage.promote:error"}          # chaos only
+    {"kind": "tune", "op": ..., "shape": ...,
+     "tune": {"first_round": 6, "round_size": 3, "max_rounds": 2,
+              "parallel": false, "workers": null, "seed": 0}}
+    {"kind": "replay", "op": ..., "shape": ..., "seed": 0,
+     "engine": "auto"}
+
+plus the control verbs ``{"kind": "ping"}``, ``{"kind": "stats"}`` and
+``{"kind": "shutdown"}`` handled by the server directly.
+
+Responses carry ``ok`` and either a kind-specific summary (compiled
+programs are summarised — cycles, tile sizes and the sha256 of the
+instruction-stream dump, which is what the bit-identical checks compare
+— never pickled over the wire) or ``error`` with the typed class name,
+message, documented exit code and action line.  Malformed requests
+produce a :class:`~repro.core.errors.ServiceError` response (exit code
+12) without disturbing the daemon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ServiceError
+from repro.service.core import ServiceRequest, ServiceResult
+
+__all__ = ["DEMO_OPS", "demo_kernel", "request_from_json", "result_to_json"]
+
+#: The demo-kernel vocabulary shared with ``akgc``.
+DEMO_OPS = ("relu", "add", "softmax", "matmul", "conv2d")
+
+
+def demo_kernel(
+    op: str,
+    shape: List[int],
+    dtype: str = "fp16",
+    kernel: int = 3,
+    stride: int = 1,
+    out_channels: Optional[int] = None,
+):
+    """Build one named demo kernel's output tensor expression.
+
+    Raises ``ValueError`` on a bad op/shape combination; callers map
+    that to their surface (``SystemExit`` in akgc, a ServiceError
+    response in the daemon).
+    """
+    from repro.ir import ops
+    from repro.ir.tensor import placeholder
+
+    shape = [int(x) for x in shape]
+    if op == "relu":
+        x = placeholder(tuple(shape), dtype=dtype, name="X")
+        return ops.relu(x, name="out")
+    if op == "add":
+        x = placeholder(tuple(shape), dtype=dtype, name="X")
+        y = placeholder(tuple(shape), dtype=dtype, name="Y")
+        return ops.add(x, y, name="out")
+    if op == "softmax":
+        x = placeholder(tuple(shape), dtype=dtype, name="X")
+        return ops.softmax_last_axis(x, name="out")
+    if op == "matmul":
+        if len(shape) != 3:
+            raise ValueError("matmul expects shape [M, K, N]")
+        m, k, n = shape
+        a = placeholder((m, k), dtype=dtype, name="A")
+        b = placeholder((k, n), dtype=dtype, name="B")
+        return ops.matmul(a, b, name="out")
+    if op == "conv2d":
+        if len(shape) != 4:
+            raise ValueError("conv2d expects shape [N, C, H, W]")
+        n, c, h, w = shape
+        co = out_channels or c
+        data = placeholder((n, c, h, w), dtype=dtype, name="D")
+        weight = placeholder((co, c, kernel, kernel), dtype=dtype, name="W")
+        pad = kernel // 2
+        return ops.conv2d(
+            data, weight, stride=(stride, stride), padding=(pad, pad), name="out"
+        )
+    raise ValueError(f"unknown op {op!r} (known: {DEMO_OPS})")
+
+
+def _options_from_json(payload: Optional[Dict[str, Any]]):
+    from repro.core.compiler import AkgOptions
+    from repro.core.resilience import StageBudget
+
+    payload = payload or {}
+    budget = None
+    if payload.get("stage_timeout") is not None or payload.get("solver_budget"):
+        budget = StageBudget(
+            stage_seconds=payload.get("stage_timeout"),
+            solver_nodes=payload.get("solver_budget"),
+        )
+    try:
+        return AkgOptions(
+            tile_policy=payload.get("tile_policy"),
+            tile_sizes=payload.get("tile_sizes"),
+            sync_policy=payload.get("sync_policy", "dp"),
+            post_tiling_fusion=not payload.get("no_fusion", False),
+            emit_trace=bool(payload.get("emit_trace", False)),
+            budget=budget,
+        )
+    except (ValueError, TypeError) as exc:
+        raise ServiceError(f"bad options payload: {exc}")
+
+
+def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
+    """Parse one wire request into a :class:`ServiceRequest`.
+
+    Every malformation — wrong types, unknown ops, bad fault specs —
+    raises :class:`ServiceError` so the daemon answers with exit code 12
+    instead of dying.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("request must be a JSON object")
+    kind = payload.get("kind", "compile")
+    if kind not in ("compile", "tune", "replay"):
+        raise ServiceError(f"unknown request kind {kind!r}")
+    op = payload.get("op")
+    shape = payload.get("shape")
+    if not op or not isinstance(shape, list) or not shape:
+        raise ServiceError("request needs 'op' and a non-empty 'shape' list")
+    try:
+        outputs = demo_kernel(
+            op,
+            shape,
+            dtype=payload.get("dtype", "fp16"),
+            kernel=int(payload.get("kernel", 3)),
+            stride=int(payload.get("stride", 1)),
+            out_channels=payload.get("out_channels"),
+        )
+    except (ValueError, TypeError) as exc:
+        raise ServiceError(f"bad kernel spec: {exc}")
+    fault_spec = payload.get("fault_spec")
+    if fault_spec:
+        from repro.tools import faultinject
+
+        try:
+            faultinject._parse(fault_spec)
+        except ValueError as exc:
+            raise ServiceError(f"bad fault_spec: {exc}")
+    tune_payload = payload.get("tune") or {}
+    if not isinstance(tune_payload, dict):
+        raise ServiceError("'tune' must be a JSON object")
+    shape_tag = "x".join(str(int(x)) for x in shape)
+    return ServiceRequest(
+        kind,
+        outputs,
+        name=payload.get("name") or f"akgd_{op}_{shape_tag}",
+        options=_options_from_json(payload.get("options")),
+        fault_spec=fault_spec,
+        tune_params=tune_payload or None,
+        seed=int(payload.get("seed", 0)),
+        engine=payload.get("engine", "auto"),
+    )
+
+
+def result_to_json(result: ServiceResult) -> Dict[str, Any]:
+    """Render a :class:`ServiceResult` as the wire response dict."""
+    out: Dict[str, Any] = {
+        "ok": result.ok,
+        "kind": result.kind,
+        "request_id": result.request_id,
+        "coalesced": result.coalesced,
+        "cached": result.cached,
+        "queue_seconds": round(result.queue_seconds, 6),
+        "run_seconds": round(result.run_seconds, 6),
+    }
+    if not result.ok:
+        out["error"] = dict(result.error or {})
+        return out
+    value = result.value or {}
+    if result.kind in ("compile", "replay"):
+        compiled = value.get("result")
+        if compiled is not None:
+            dump = compiled.program.dump()
+            out["program_sha256"] = hashlib.sha256(dump.encode()).hexdigest()
+            out["tile_sizes"] = list(compiled.tile_sizes)
+            out["degraded"] = bool(compiled.resilience.degraded)
+    if result.kind == "compile":
+        out["cycles"] = value.get("cycles")
+        out["dma_bytes"] = value.get("dma_bytes")
+    elif result.kind == "tune":
+        out["best_sizes"] = value.get("best_sizes")
+        out["candidates"] = value.get("candidates")
+        out["best_cycles"] = value.get("best_cycles")
+    elif result.kind == "replay":
+        digests = {}
+        for name, array in (value.get("outputs") or {}).items():
+            digests[name] = {
+                "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+                "shape": list(array.shape),
+                "dtype": str(array.dtype),
+            }
+        out["outputs"] = digests
+    return out
+
+
+def error_to_json(exc: BaseException) -> Dict[str, Any]:
+    """The response body for a failure outside any request's execution."""
+    from repro.core.errors import exit_code_for
+
+    action = getattr(exc, "action", "check the request payload")
+    return {
+        "ok": False,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "exit_code": exit_code_for(exc),
+            "action": action,
+        },
+    }

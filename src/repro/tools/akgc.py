@@ -38,43 +38,20 @@ def _parse_shape(text: str) -> List[int]:
 
 
 def _build_kernel(args):
-    from repro.ir import ops
-    from repro.ir.tensor import placeholder
+    # One kernel vocabulary for the CLI and the akgd daemon (wire schema).
+    from repro.service.wire import demo_kernel
 
-    shape = _parse_shape(args.shape)
-    dtype = args.dtype
-    if args.op == "relu":
-        x = placeholder(tuple(shape), dtype=dtype, name="X")
-        return ops.relu(x, name="out")
-    if args.op == "add":
-        x = placeholder(tuple(shape), dtype=dtype, name="X")
-        y = placeholder(tuple(shape), dtype=dtype, name="Y")
-        return ops.add(x, y, name="out")
-    if args.op == "softmax":
-        x = placeholder(tuple(shape), dtype=dtype, name="X")
-        return ops.softmax_last_axis(x, name="out")
-    if args.op == "matmul":
-        if len(shape) != 3:
-            raise SystemExit("matmul expects --shape M,K,N")
-        m, k, n = shape
-        a = placeholder((m, k), dtype=dtype, name="A")
-        b = placeholder((k, n), dtype=dtype, name="B")
-        return ops.matmul(a, b, name="out")
-    if args.op == "conv2d":
-        if len(shape) != 4:
-            raise SystemExit("conv2d expects --shape N,C,H,W")
-        n, c, h, w = shape
-        co = args.out_channels or c
-        data = placeholder((n, c, h, w), dtype=dtype, name="D")
-        weight = placeholder(
-            (co, c, args.kernel, args.kernel), dtype=dtype, name="W"
+    try:
+        return demo_kernel(
+            args.op,
+            _parse_shape(args.shape),
+            dtype=args.dtype,
+            kernel=args.kernel,
+            stride=args.stride,
+            out_channels=args.out_channels,
         )
-        pad = args.kernel // 2
-        return ops.conv2d(
-            data, weight, stride=(args.stride, args.stride),
-            padding=(pad, pad), name="out",
-        )
-    raise SystemExit(f"unknown op {args.op!r}")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _print_cache_stats() -> None:

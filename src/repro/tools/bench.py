@@ -554,12 +554,124 @@ def run_chaos_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
             ] = cell
             all_ok = all_ok and cell["acceptable"]
 
+    cell = _service_chaos_cell(seed)
+    results.setdefault("autotune.worker:crash", {})["service:tune"] = cell
+    all_ok = all_ok and cell["acceptable"]
+
     return {
         **_report_envelope("chaos"),
         "config": {"quick": quick, "seed": seed},
         "scenarios": results,
         "all_acceptable": all_ok,
     }
+
+
+def _service_chaos_cell(seed: int) -> Dict[str, object]:
+    """Worker-crash chaos *through the compile service*.
+
+    ``REPRO_FAULT_SPEC`` (the environment, not a programmatic spec — the
+    tuner's pool children must inherit it) kills every measurement
+    worker with ``os._exit(1)``.  The expected path is PR 4's ladder
+    verbatim: the pool retry also crashes, measurement degrades sticky-
+    serial, and the tune request completes ``ok`` — while concurrent
+    compile requests on sibling worker threads finish untouched and the
+    queue keeps serving afterwards.  Every wait is bounded, so a wedged
+    queue shows up as a ``HANG`` outcome, never as a hung bench.
+    """
+    from repro.core.errors import ReproError, ServiceError
+    from repro.core.resilience import resilience_stats
+    from repro.service.core import CompileService, ServiceRequest
+    from repro.service.wire import demo_kernel
+
+    spec = "autotune.worker:crash"
+    cell: Dict[str, object] = {
+        "outcome": "?",
+        "queue_alive": False,
+        "healthy_ok": 0,
+        "degraded": False,
+    }
+    serial_before = resilience_stats().get("autotune.pool.fallback:serial", 0)
+    prev = os.environ.get("REPRO_FAULT_SPEC")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        os.environ["REPRO_FAULT_SPEC"] = spec
+        t0 = time.perf_counter()
+        try:
+            clear_solver_caches()
+            with CompileService(workers=2) as service:
+                tune = service.submit(
+                    ServiceRequest(
+                        "tune",
+                        demo_kernel("relu", [16, 24]),
+                        name="chaos_serve_tune",
+                        tune_params={
+                            "parallel": True,
+                            "workers": 2,
+                            "first_round": 4,
+                            "round_size": 2,
+                            "max_rounds": 1,
+                            "seed": seed,
+                        },
+                    )
+                )
+                healthy = [
+                    service.submit(
+                        ServiceRequest(
+                            "compile",
+                            demo_kernel("add", [16, 16]),
+                            name="chaos_serve_add",
+                        )
+                    )
+                    for _ in range(3)
+                ]
+                try:
+                    tuned = tune.result(timeout=300)
+                    cell["outcome"] = (
+                        "ok" if tuned.ok
+                        else f"typed:{(tuned.error or {}).get('type')}"
+                    )
+                except ServiceError:
+                    cell["outcome"] = "HANG"
+                for ticket in healthy:
+                    try:
+                        if ticket.result(timeout=300).ok:
+                            cell["healthy_ok"] += 1
+                    except ServiceError:
+                        pass
+                # The queue must still serve after the chaos request.
+                try:
+                    post = service.run(
+                        ServiceRequest(
+                            "compile",
+                            demo_kernel("relu", [8, 8]),
+                            name="chaos_serve_post",
+                        ),
+                        timeout=300,
+                    )
+                    cell["queue_alive"] = bool(post.ok)
+                except ServiceError:
+                    cell["queue_alive"] = False
+        except ReproError as exc:
+            cell["outcome"] = f"typed:{type(exc).__name__}"
+        except Exception as exc:  # noqa: BLE001 - the chaos verdict
+            cell["outcome"] = f"UNTYPED:{type(exc).__name__}"
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_FAULT_SPEC", None)
+            else:
+                os.environ["REPRO_FAULT_SPEC"] = prev
+            diskcache.set_cache_dir(None)
+        cell["seconds"] = time.perf_counter() - t0
+    cell["degraded"] = (
+        resilience_stats().get("autotune.pool.fallback:serial", 0)
+        > serial_before
+    )
+    cell["acceptable"] = (
+        (cell["outcome"] == "ok" or str(cell["outcome"]).startswith("typed:"))
+        and cell["queue_alive"]
+        and cell["healthy_ok"] == 3
+    )
+    return cell
 
 
 #: Faults aimed at the whole-network pipeline.  ``tiling.auto_search``
@@ -972,6 +1084,288 @@ def _format_network_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+# -- the compile-service load benchmark ------------------------------------------
+
+
+def _serve_kernels(quick: bool) -> Dict[str, Callable[[], object]]:
+    """The duplicate-heavy workload's unique kernels (moderate sizes: a
+    single build+simulate must cost enough that serving repeats from the
+    service memo is visibly cheaper than recompiling/resimulating)."""
+    from repro.ir import ops
+    from repro.ir.tensor import placeholder
+
+    def relu():
+        x = placeholder((32, 64) if quick else (64, 128), "fp16", name="X")
+        return ops.relu(x, name="out")
+
+    def add_relu():
+        shape = (24, 48) if quick else (48, 96)
+        x = placeholder(shape, "fp16", name="X")
+        y = placeholder(shape, "fp16", name="Y")
+        return ops.relu(ops.add(x, y, name="s"), name="out")
+
+    def softmax():
+        x = placeholder((16, 32) if quick else (32, 64), "fp16", name="X")
+        return ops.softmax_last_axis(x, name="out")
+
+    def matmul():
+        m = 16 if quick else 32
+        a = placeholder((m, m), "fp16", name="A")
+        b = placeholder((m, m), "fp16", name="B")
+        return ops.matmul(a, b, name="out")
+
+    return {
+        "relu": relu,
+        "add_relu": add_relu,
+        "softmax": softmax,
+        "matmul": matmul,
+    }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def _drive_service(service, requests, concurrency: int):
+    """Closed-loop clients: ``concurrency`` threads drain the request
+    list, each timing its own submissions end to end."""
+    import itertools
+    import threading
+
+    from repro.service.core import ServiceRequest
+
+    latencies: List[Optional[float]] = [None] * len(requests)
+    errors: List[str] = []
+    counter = itertools.count()
+    lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            i = next(counter)
+            if i >= len(requests):
+                return
+            name, outputs = requests[i]
+            t0 = time.perf_counter()
+            res = service.run(
+                ServiceRequest("compile", outputs, name=f"serve_{name}")
+            )
+            latencies[i] = time.perf_counter() - t0
+            if not res.ok:
+                with lock:
+                    errors.append((res.error or {}).get("type", "?"))
+
+    threads = [
+        threading.Thread(target=client, name=f"bench-client-{i}")
+        for i in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    done = sorted(v for v in latencies if v is not None)
+    return {
+        "wall_seconds": wall,
+        "kernels_per_second": len(requests) / wall if wall else 0.0,
+        "p50_ms": 1000.0 * _percentile(done, 0.50),
+        "p99_ms": 1000.0 * _percentile(done, 0.99),
+        "errors": len(errors),
+    }
+
+
+def _serve_oneshot_child(payload: Tuple) -> Dict[str, object]:
+    """One request served the pre-daemon way: a fresh compiler process.
+
+    The parent times the whole round trip (spawn + imports + build +
+    simulate); this body only does what any one-shot compile driver
+    does.  The shared cache directory is warm, so the measured cost is
+    the *irreducible* per-invocation overhead a daemon amortizes.
+    """
+    key, quick, cache_dir = payload
+    _diskcache_env(cache_dir, False)
+    from repro.core.compiler import build
+
+    outputs = _serve_kernels(quick)[key]()
+    result = build(outputs, f"serve_{key}")
+    result.simulate()
+    return {"cycles": int(result.cycles())}
+
+
+def run_serve_suite(
+    quick: bool = False,
+    seed: int = 0,
+    concurrency: Tuple[int, ...] = (1, 4, 16),
+    duplicates: Optional[int] = None,
+) -> Dict[str, object]:
+    """Latency/throughput of the compile service vs serialized submission.
+
+    The workload is duplicate-heavy on purpose — ``duplicates`` repeats
+    of each unique kernel, interleaved round-robin so repeats arrive
+    while the first build is still in flight (the coalescing case) and
+    keep arriving after it finished (the memo case).
+
+    The *serialized* baseline submits the same stream the pre-daemon
+    way: one compiler process per request, one request at a time (the
+    ``akgc``-shaped workflow every daemon exists to replace).  It is
+    deliberately best-cased — the disk cache is pre-warmed so every
+    sampled invocation is a pure cache-hit replay — and still pays
+    interpreter startup and imports per request, which is exactly the
+    overhead the resident service amortizes.  A fully in-process
+    serialized loop (shared warm process, no service) is also recorded
+    as ``inproc_serialized`` for reference; it shares the service's
+    amortization, so it is the bound the service worker itself runs at,
+    not the submission model the service competes against.
+    """
+    from repro.core.compiler import build
+    from repro.service.core import CompileService
+
+    duplicates = duplicates or (6 if quick else 12)
+    builders = _serve_kernels(quick)
+    unique_outputs = {name: fn() for name, fn in builders.items()}
+    requests = [
+        (name, unique_outputs[name])
+        for _ in range(duplicates)
+        for name in unique_outputs
+    ]
+
+    # -- serialized one-shot baseline (sampled) -----------------------------
+    sample = len(unique_outputs) * (1 if quick else 2)
+    oneshot_fresh = True
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as cdir:
+        for key in unique_outputs:  # pre-warm, untimed
+            _, fresh = _run_in_fresh_process(
+                _serve_oneshot_child, (key, quick, cdir)
+            )
+            oneshot_fresh = oneshot_fresh and fresh
+        t0 = time.perf_counter()
+        for i in range(sample):
+            key = requests[i % len(requests)][0]
+            _, fresh = _run_in_fresh_process(
+                _serve_oneshot_child, (key, quick, cdir)
+            )
+            oneshot_fresh = oneshot_fresh and fresh
+        oneshot_wall = time.perf_counter() - t0
+    serialized = {
+        "wall_seconds": oneshot_wall,
+        "kernels_per_second": sample / oneshot_wall,
+        "sampled_requests": sample,
+        "fresh_processes": oneshot_fresh,
+    }
+
+    # -- in-process serialized reference ------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        try:
+            clear_solver_caches()
+            t0 = time.perf_counter()
+            for name, outputs in requests:
+                result = build(outputs, f"serve_{name}")
+                result.simulate()
+            inproc_wall = time.perf_counter() - t0
+        finally:
+            diskcache.set_cache_dir(None)
+    inproc = {
+        "wall_seconds": inproc_wall,
+        "kernels_per_second": len(requests) / inproc_wall,
+    }
+
+    # -- service, per concurrency level -------------------------------------
+    levels: Dict[str, Dict[str, object]] = {}
+    for conc in concurrency:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as cdir:
+            diskcache.set_cache_dir(cdir)
+            try:
+                clear_solver_caches()
+                with CompileService(workers=4) as service:
+                    cold = _drive_service(service, requests, conc)
+                    warm = _drive_service(service, requests, conc)
+                    stats = service.stats()
+            finally:
+                diskcache.set_cache_dir(None)
+        levels[str(conc)] = {
+            "cold": cold,
+            "warm": warm,
+            "coalesced": stats["coalesced"],
+            "memo_hits": stats["memo_hits"],
+        }
+
+    top = str(max(concurrency))
+    speedup = (
+        levels[top]["cold"]["kernels_per_second"]
+        / serialized["kernels_per_second"]
+    )
+    warm_p50 = levels[top]["warm"]["p50_ms"]
+    coalesced_total = sum(row["coalesced"] for row in levels.values())
+    no_errors = all(
+        row[phase]["errors"] == 0
+        for row in levels.values()
+        for phase in ("cold", "warm")
+    )
+    return {
+        **_report_envelope("serve"),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "unique_kernels": len(unique_outputs),
+            "duplicates": duplicates,
+            "requests": len(requests),
+            "concurrency": list(concurrency),
+            "workers": 4,
+        },
+        "serialized": serialized,
+        "inproc_serialized": inproc,
+        "service": levels,
+        "speedup_vs_serialized": speedup,
+        "coalesced_requests": coalesced_total,
+        "speedup_ok": speedup >= 3.0,
+        "warm_p50_ok": warm_p50 < 50.0,
+        "all_ok": no_errors and speedup >= 3.0 and warm_p50 < 50.0,
+    }
+
+
+def _format_serve_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'clients':<9}{'cold kps':>10}{'p50 ms':>9}{'p99 ms':>9}"
+        f"{'warm kps':>10}{'warm p50':>10}{'coalesced':>11}{'memo':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for conc, row in sorted(
+        report["service"].items(), key=lambda kv: int(kv[0])
+    ):
+        cold, warm = row["cold"], row["warm"]
+        lines.append(
+            f"{conc:<9}{cold['kernels_per_second']:>10.1f}"
+            f"{cold['p50_ms']:>9.1f}{cold['p99_ms']:>9.1f}"
+            f"{warm['kernels_per_second']:>10.1f}{warm['p50_ms']:>10.2f}"
+            f"{row['coalesced']:>11}{row['memo_hits']:>7}"
+        )
+    s = report["serialized"]
+    lines.append(
+        f"serialized one-shot baseline: {s['kernels_per_second']:.2f} "
+        f"kernels/sec ({s['wall_seconds']:.2f}s for "
+        f"{s['sampled_requests']} sampled requests, warm cache)"
+    )
+    ip = report["inproc_serialized"]
+    lines.append(
+        f"in-process serialized reference: {ip['kernels_per_second']:.1f} "
+        f"kernels/sec"
+    )
+    lines.append(
+        f"speedup at {max(report['config']['concurrency'])} clients: "
+        f"{report['speedup_vs_serialized']:.1f}x "
+        f"({'ok' if report['speedup_ok'] else 'BELOW 3x TARGET'})"
+    )
+    lines.append(
+        f"warm p50 < 50ms: {'yes' if report['warm_p50_ok'] else 'NO'}; "
+        f"coalesced requests: {report['coalesced_requests']}"
+    )
+    return "\n".join(lines)
+
+
 def _format_table(report: Dict[str, object]) -> str:
     header = (
         f"{'kernel':<12}{'legacy(s)':>11}{'mono+cache(s)':>15}"
@@ -1018,11 +1412,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "instead",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="run the compile-service load benchmark instead (exit 1 "
+             "unless the 16-client duplicate-heavy workload beats "
+             "serialized submission by >= 3x with warm p50 < 50ms)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="output JSON path (default BENCH_pipeline.json; "
              "BENCH_diskcache.json with --diskcache, BENCH_exec.json "
              "with --exec, BENCH_chaos.json with --chaos, "
-             "BENCH_network.json with --network)",
+             "BENCH_network.json with --network, BENCH_serve.json "
+             "with --serve)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
@@ -1034,8 +1435,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out = "BENCH_chaos.json"
         elif args.network:
             args.out = "BENCH_network.json"
+        elif args.serve:
+            args.out = "BENCH_serve.json"
         else:
             args.out = "BENCH_pipeline.json"
+
+    if args.serve:
+        report = run_serve_suite(quick=args.quick, seed=args.seed)
+        print(_format_serve_table(report))
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+        return 0 if report["all_ok"] else 1
 
     if args.chaos:
         report = run_chaos_suite(quick=args.quick, seed=args.seed)

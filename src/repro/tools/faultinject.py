@@ -31,11 +31,19 @@ Activation: programmatically via :func:`inject` (a context manager) or
 :func:`set_spec`, or via the ``REPRO_FAULT_SPEC`` environment variable
 (re-read whenever its raw value changes, so subprocesses inherit faults
 and tests can monkeypatch it).
+
+Programmatic specs are **thread-local**: a compile-service request that
+carries a ``fault_spec`` installs it only on the worker thread running
+that request, so concurrent requests on sibling threads are untouched.
+The environment spec stays process-global — it must be, both so the
+parallel tuner's pool children inherit crash directives and so a daemon
+launched under ``REPRO_FAULT_SPEC`` faults uniformly.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Type
 
@@ -115,75 +123,82 @@ def _parse(spec: str) -> Dict[str, List[_Directive]]:
     return table
 
 
-# Parsed spec cache: (raw string that produced it, site table).
-_ACTIVE: Optional[Dict[str, List[_Directive]]] = None
-_ACTIVE_RAW: Optional[str] = None
-# True while a programmatic spec overrides the environment.
-_PROGRAMMATIC = False
+# Programmatic specs are per-thread (service requests must not leak
+# faults into sibling workers); the env-derived spec is process-global.
+_TLS = threading.local()
+_ENV_ACTIVE: Optional[Dict[str, List[_Directive]]] = None
+_ENV_RAW: Optional[str] = None
+_ENV_LOCK = threading.Lock()
+# Guards directive hit/fired counters, which sibling threads may share
+# when matching against the env table.
+_COUNT_LOCK = threading.Lock()
 
 
 def set_spec(spec: Optional[str]) -> None:
-    """Install a fault spec programmatically (None deactivates).
+    """Install a fault spec programmatically on *this thread*.
 
-    Overrides ``REPRO_FAULT_SPEC`` until cleared.
+    Overrides ``REPRO_FAULT_SPEC`` for this thread until cleared with
+    ``None`` (other threads keep following the environment).
     """
-    global _ACTIVE, _ACTIVE_RAW, _PROGRAMMATIC
     if spec:
-        _ACTIVE = _parse(spec)
-        _ACTIVE_RAW = spec
-        _PROGRAMMATIC = True
+        _TLS.table = _parse(spec)
+        _TLS.raw = spec
     else:
-        _ACTIVE = None
-        _ACTIVE_RAW = None
-        _PROGRAMMATIC = False
+        _TLS.table = None
+        _TLS.raw = None
 
 
 def current_spec() -> Optional[str]:
-    _refresh()
-    return _ACTIVE_RAW
+    raw = getattr(_TLS, "raw", None)
+    if raw is not None:
+        return raw
+    _env_table()
+    return _ENV_RAW
 
 
 @contextmanager
 def inject(spec: str):
-    """Activate a fault spec for the duration of a with-block."""
-    prev_raw, prev_prog = _ACTIVE_RAW if _PROGRAMMATIC else None, _PROGRAMMATIC
+    """Activate a fault spec on this thread for a with-block."""
+    prev_raw = getattr(_TLS, "raw", None)
     set_spec(spec)
     try:
         yield
     finally:
-        set_spec(prev_raw if prev_prog else None)
+        set_spec(prev_raw)
 
 
-def _refresh() -> None:
-    """Sync with ``REPRO_FAULT_SPEC`` unless a programmatic spec rules."""
-    global _ACTIVE, _ACTIVE_RAW
-    if _PROGRAMMATIC:
-        return
+def _env_table() -> Optional[Dict[str, List[_Directive]]]:
+    """Sync with ``REPRO_FAULT_SPEC`` (re-parsed when the value changes)."""
+    global _ENV_ACTIVE, _ENV_RAW
     raw = os.environ.get("REPRO_FAULT_SPEC") or None
-    if raw == _ACTIVE_RAW:
-        return
-    _ACTIVE = _parse(raw) if raw else None
-    _ACTIVE_RAW = raw
+    with _ENV_LOCK:
+        if raw != _ENV_RAW:
+            _ENV_ACTIVE = _parse(raw) if raw else None
+            _ENV_RAW = raw
+        return _ENV_ACTIVE
 
 
 def _match(site: str) -> Optional[_Directive]:
-    _refresh()
-    if _ACTIVE is None:
+    table = getattr(_TLS, "table", None)
+    if table is None:
+        table = _env_table()
+    if table is None:
         return None
-    directives = _ACTIVE.get(site)
+    directives = table.get(site)
     if not directives:
         return None
-    stages = [frame[0] for frame in resilience._STAGES]
-    for d in directives:
-        if d.stage is not None and not any(s.startswith(d.stage) for s in stages):
-            continue
-        d.hits += 1
-        if d.hits <= d.skip:
-            continue
-        if d.limit is not None and d.fired >= d.limit:
-            continue
-        d.fired += 1
-        return d
+    stages = resilience.active_stage_names()
+    with _COUNT_LOCK:
+        for d in directives:
+            if d.stage is not None and not any(s.startswith(d.stage) for s in stages):
+                continue
+            d.hits += 1
+            if d.hits <= d.skip:
+                continue
+            if d.limit is not None and d.fired >= d.limit:
+                continue
+            d.fired += 1
+            return d
     return None
 
 

@@ -95,6 +95,74 @@ class TestDiskCacheStore:
         assert len(cache) == 0
 
 
+class TestConcurrentWriters:
+    def test_racing_same_key_writers_leave_a_verifiable_entry(self, tmp_path):
+        """N threads race put() on one key: whichever whole entry wins the
+        ``os.replace`` must pass the sha256 header check — interleaved
+        bytes would fail ``_decode`` and count as a corruption."""
+        import threading
+
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        key = diskcache.digest("unit", "writer-race")
+        threads = 8
+        rounds = 25
+        barrier = threading.Barrier(threads)
+        failures = []
+
+        def writer(tid):
+            # Distinct payloads (and sizes) per writer make byte
+            # interleaving detectable.
+            value = {"writer": tid, "blob": bytes([tid]) * (1000 + tid * 97)}
+            barrier.wait()
+            for _ in range(rounds):
+                if not cache.put(key, value):
+                    failures.append(tid)
+
+        pool = [
+            threading.Thread(target=writer, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        assert not failures
+        survivor = cache.get(key)
+        assert survivor is not None
+        tid = survivor["writer"]
+        assert survivor["blob"] == bytes([tid]) * (1000 + tid * 97)
+        assert cache.corruptions == 0
+        assert cache.errors == 0
+        assert cache.stats()["stores"] == threads * rounds
+        # No temp-file debris left behind by the rename dance.
+        shard = os.path.dirname(cache._path(key))
+        assert [n for n in os.listdir(shard) if n.endswith(".tmp")] == []
+
+    def test_racing_distinct_keys_all_land(self, tmp_path):
+        import threading
+
+        cache = diskcache.DiskCache(str(tmp_path / "c"))
+        keys = [diskcache.digest("unit", f"k{i}") for i in range(32)]
+        barrier = threading.Barrier(4)
+
+        def writer(chunk):
+            barrier.wait()
+            for key in chunk:
+                cache.put(key, key)
+
+        pool = [
+            threading.Thread(target=writer, args=(keys[i::4],))
+            for i in range(4)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        for key in keys:
+            assert cache.get(key) == key
+        assert cache.corruptions == 0
+
+
 class TestKillSwitches:
     def test_env_disable(self, monkeypatch):
         key = diskcache.digest("unit", "env-disable")

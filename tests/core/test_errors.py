@@ -11,6 +11,7 @@ from repro.core.errors import (
     NetworkPlanError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SolverBudgetError,
     StageTimeoutError,
     TilingError,
@@ -29,6 +30,7 @@ ALL_CLASSES = (
     CacheCorruptionError,
     ExecutionFallbackError,
     NetworkPlanError,
+    ServiceError,
 )
 
 

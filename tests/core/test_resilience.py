@@ -172,7 +172,7 @@ class TestLadder:
             # but check_deadline still sees the parent.  Re-arm the parent
             # to model the real pattern (the primary raised *before* the
             # deadline passed).
-            resilience._STAGES[-1][1] = None
+            resilience._stage_frames()[-1][1] = None
             out = with_fallback("s", ("p", bad), ("q", probe))
         assert out == "ok"
         assert seen == ["s[q]"]

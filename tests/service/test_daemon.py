@@ -1,0 +1,132 @@
+"""The akgd TCP daemon: wire schema, control verbs, per-request errors."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.core import CompileService
+from repro.service.server import AkgdServer
+from repro.service.wire import demo_kernel, request_from_json
+
+
+@pytest.fixture()
+def daemon():
+    """A live daemon on an ephemeral port + a client bound to it."""
+    service = CompileService(workers=2, default_stage_seconds=120.0)
+    server = AkgdServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient("127.0.0.1", server.server_address[1], timeout=300.0)
+    try:
+        yield client
+    finally:
+        server.initiate_shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        service.close()
+
+
+class TestDaemon:
+    def test_ping(self, daemon):
+        assert daemon.ping() is True
+
+    def test_compile_round_trip(self, daemon):
+        res = daemon.compile("relu", [16, 24])
+        assert res["ok"] is True
+        assert res["kind"] == "compile"
+        assert res["cycles"] > 0
+        assert len(res["program_sha256"]) == 64
+
+    def test_duplicate_is_bit_identical_and_cached(self, daemon):
+        first = daemon.compile("matmul", [16, 16, 16])
+        second = daemon.compile("matmul", [16, 16, 16])
+        assert second["program_sha256"] == first["program_sha256"]
+        assert second["cached"] is True
+
+    def test_stats_reports_service_counters(self, daemon):
+        daemon.compile("relu", [8, 8])
+        stats = daemon.stats()
+        assert stats["completed"] >= 1
+
+    def test_malformed_json_is_service_error(self, daemon):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", daemon.port), timeout=30
+        ) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("rb").readline()
+        res = json.loads(line)
+        assert res["ok"] is False
+        assert res["error"]["type"] == "ServiceError"
+        assert res["error"]["exit_code"] == 12
+
+    def test_bad_request_fields_are_service_error(self, daemon):
+        res = daemon.request({"kind": "compile", "op": "nope", "shape": [8]})
+        assert res["ok"] is False
+        assert res["error"]["type"] == "ServiceError"
+
+    def test_fault_request_fails_typed_daemon_survives(self, daemon):
+        bad = daemon.request(
+            {
+                "kind": "compile",
+                "op": "relu",
+                "shape": [16, 16],
+                "fault_spec": "storage.promote:error",
+            }
+        )
+        assert bad["ok"] is False
+        assert bad["error"]["type"] == "CodegenError"
+        assert bad["error"]["exit_code"] == 8
+        # The daemon keeps serving: same kernel, no fault, compiles fine.
+        good = daemon.compile("relu", [16, 16])
+        assert good["ok"] is True
+
+    def test_replay_outputs_are_deterministic(self, daemon):
+        payload = {"kind": "replay", "op": "relu", "shape": [8, 12], "seed": 3}
+        a = daemon.request(payload)
+        b = daemon.request(payload)
+        assert a["ok"] and b["ok"]
+        assert a["outputs"] == b["outputs"]
+
+    def test_shutdown_stops_the_daemon(self, daemon):
+        assert daemon.shutdown() is True
+
+
+class TestWireSchema:
+    def test_demo_kernel_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            demo_kernel("matmul", [16, 16])  # needs M,K,N
+        with pytest.raises(ValueError):
+            demo_kernel("conv2d", [16, 16])  # needs N,C,H,W
+
+    def test_request_from_json_validates_fault_spec(self):
+        with pytest.raises(ServiceError):
+            request_from_json(
+                {
+                    "kind": "compile",
+                    "op": "relu",
+                    "shape": [8, 8],
+                    "fault_spec": "no-such-grammar",
+                }
+            )
+
+    def test_request_from_json_builds_options(self):
+        req = request_from_json(
+            {
+                "kind": "compile",
+                "op": "relu",
+                "shape": [8, 8],
+                "options": {"stage_timeout": 9.0, "no_fusion": True},
+            }
+        )
+        assert req.options.budget.stage_seconds == 9.0
+        assert req.options.post_tiling_fusion is False
+
+    def test_client_without_daemon_raises_service_error(self):
+        client = ServiceClient("127.0.0.1", 1, timeout=0.5)
+        with pytest.raises(ServiceError):
+            client.ping()

@@ -32,9 +32,20 @@ class TestChaosSweep:
         from repro.tools import faultinject
 
         swept = {spec.split(":")[0] for spec in bench.CHAOS_SCENARIOS}
-        # autotune.worker is exercised by the parallel-tuner death test,
-        # not the compile sweep (it needs a process pool).
+        # autotune.worker is exercised by the service chaos cell (a tune
+        # request on a crashing measurer pool), not the compile sweep.
         assert swept == set(faultinject.SITES) - {"autotune.worker"}
+
+    def test_service_survives_tuner_worker_crash(self, sweep):
+        # The service chaos scenario: a measurer-pool worker crash under
+        # a daemon tune request must degrade to serial measurement (PR 4
+        # semantics), leave sibling compile requests untouched, and never
+        # hang the queue.
+        cell = sweep["scenarios"]["autotune.worker:crash"]["service:tune"]
+        assert cell["acceptable"], cell
+        assert cell["queue_alive"], cell
+        assert cell["healthy_ok"] == 3, cell
+        assert cell["outcome"] != "HANG", cell
 
     def test_ladder_actually_fires_somewhere(self, sweep):
         # The sweep must not pass vacuously: at least one cell recovers

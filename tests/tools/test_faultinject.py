@@ -139,3 +139,73 @@ class TestDelivery:
             return fired
 
         assert pattern() == pattern() == [False, True, True, False, False]
+
+
+class TestThreadLocality:
+    """Programmatic specs are per-thread: the compile service installs a
+    request's fault_spec on its worker without poisoning siblings."""
+
+    def test_spec_on_one_thread_is_invisible_to_another(self):
+        import threading
+
+        from repro.core.errors import SolverBudgetError
+
+        installed = threading.Event()
+        checked = threading.Event()
+        sibling_fired = []
+
+        def sibling():
+            installed.wait(timeout=10)
+            # This thread never set a spec; the site must stay silent.
+            try:
+                faultinject.fire("ilp.solve")
+                sibling_fired.append(False)
+            except SolverBudgetError:
+                sibling_fired.append(True)
+            checked.set()
+
+        t = threading.Thread(target=sibling)
+        t.start()
+        faultinject.set_spec("ilp.solve:error")
+        try:
+            installed.set()
+            assert checked.wait(timeout=10)
+            # ... while the installing thread still sees it.
+            with pytest.raises(SolverBudgetError):
+                faultinject.fire("ilp.solve")
+        finally:
+            faultinject.set_spec(None)
+        t.join()
+        assert sibling_fired == [False]
+
+    def test_env_spec_is_process_global(self, monkeypatch):
+        import threading
+
+        from repro.core.errors import SolverBudgetError
+
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "ilp.solve:error")
+        hits = []
+
+        def worker():
+            try:
+                faultinject.fire("ilp.solve")
+                hits.append(False)
+            except SolverBudgetError:
+                hits.append(True)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hits == [True, True, True]
+
+    def test_inject_restores_the_calling_threads_spec(self):
+        faultinject.set_spec("fm.eliminate:error")
+        try:
+            with faultinject.inject("ilp.solve:error"):
+                assert faultinject.current_spec() == "ilp.solve:error"
+            assert faultinject.current_spec() == "fm.eliminate:error"
+        finally:
+            faultinject.set_spec(None)
+        assert faultinject.current_spec() in (None, "")
