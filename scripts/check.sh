@@ -2,11 +2,20 @@
 # One-button pre-push check: tier-1 tests, a bench smoke run, and a
 # disk-cache round trip through the real CLI.  Run from the repo root:
 #
-#     bash scripts/check.sh
+#     bash scripts/check.sh          # everything
+#     bash scripts/check.sh --fast   # tier-1 + quick smokes only
 #
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *) echo "check.sh: unknown argument $arg (known: --fast)" >&2; exit 2 ;;
+    esac
+done
 
 echo "== tier-1 test suite =="
 python -m pytest tests/ -x -q
@@ -15,6 +24,45 @@ echo
 echo "== bench smoke (quick pipeline suite) =="
 python -m repro.tools.bench --quick --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
+
+echo
+echo "== shape-generic smoke (one compile, two batch sizes) =="
+SHAPES_CACHE_DIR="$(mktemp -d)"
+REPRO_CACHE_DIR="$SHAPES_CACHE_DIR" python - <<'EOF'
+import numpy as np
+
+import repro.core.compiler  # noqa: F401  (core first: import-order cycle)
+from repro.core import diskcache
+from repro.core.compiler import AkgOptions, build
+from repro.ir.lower import lower
+from repro.runtime.reference import evaluate_kernel
+from repro.service.wire import demo_kernel
+
+diskcache.reset_shapeclass_stats()
+opts = AkgOptions(emit_trace=True)
+res = build(demo_kernel("relu", [8, 32], batch_max=8), "shapes_smoke", options=opts)
+assert res.kernel.shape_generic, "relu class failed the parametric proof"
+# A second batch size of the same class must answer from the cache.
+build(demo_kernel("relu", [3, 32], batch_max=8), "shapes_smoke", options=opts)
+sc = diskcache.shapeclass_stats()
+assert sc["hits"] >= 1, f"second batch size recompiled: {sc}"
+rng = np.random.default_rng(0)
+for b in (3, 8):
+    x = rng.standard_normal((b, 32)).astype(np.float16)
+    got = res.execute({"X": x})["out"]
+    oracle = lower(demo_kernel("relu", [b, 32]), "oracle")
+    want = evaluate_kernel(oracle, {"X": x}, engine="scalar")["out"]
+    assert got.shape == (b, 32), got.shape
+    assert np.array_equal(got, want), f"replay != oracle at batch {b}"
+print("shapes smoke ok: 1 compile, batch 3 and 8 replays bit-identical")
+EOF
+rm -rf "$SHAPES_CACHE_DIR"
+
+if [ "$FAST" -eq 1 ]; then
+    echo
+    echo "all checks passed (--fast: slow bench steps skipped)"
+    exit 0
+fi
 
 echo
 echo "== execution-engine equivalence (scalar vs vectorized) =="

@@ -92,6 +92,14 @@ class ProgramBuilder:
             assignments = [assign_compute_units(g.statements) for g in groups]
         instrs: List[Instr] = []
         metadata: Dict[str, object] = {"groups": []}
+        sym_dims = getattr(kernel, "sym_dims", None)
+        if sym_dims:
+            # Surface the shape class in program dumps: the instruction
+            # stream itself is the maximum-shape program (replay clamps).
+            metadata["sym_dims"] = dict(sym_dims)
+            metadata["shape_generic"] = bool(
+                getattr(kernel, "shape_generic", False)
+            )
         for i, (group, plan, assignment) in enumerate(
             zip(groups, plans, assignments)
         ):

@@ -56,6 +56,8 @@ from repro.runtime.reference import (
     ENGINES,
     allocate_outputs,
     bind_inputs,
+    bound_shape,
+    infer_bindings,
     run_instance,
 )
 
@@ -261,7 +263,10 @@ class ProgramReplay:
         self._group_replays = [
             (group, _prepare_replays(group, engine)) for group in self.groups
         ]
-        self._schedule: Optional[List[List[_TileStep]]] = None
+        # Schedules are cached per symbolic-dim binding: key () is the
+        # compile-time (maximum-shape) schedule; other keys hold clamped
+        # variants derived from it (shape-generic kernels only).
+        self._schedules: Dict[Tuple[Tuple[str, int], ...], List[List[_TileStep]]] = {}
 
     # -- schedule construction (lazy: first run) ---------------------------
 
@@ -284,6 +289,76 @@ class ProgramReplay:
                     steps.append(_TileStep(rep, tile, tile_env, box, mask))
             schedule.append(steps)
         return schedule
+
+    def _schedule_for(
+        self, effective: Mapping[str, int]
+    ) -> List[List[_TileStep]]:
+        """The replay schedule under ``effective`` symbolic bindings.
+
+        ``effective`` holds only dims bound strictly below their maxima;
+        empty means the compile-time schedule applies unchanged.  Clamped
+        variants are derived from the base schedule by intersecting each
+        step's instance box with the bound extents and cached per binding,
+        so replaying a batch-size sweep pays each clamp once.
+        """
+        key = tuple(sorted(effective.items()))
+        schedule = self._schedules.get(key)
+        if schedule is not None:
+            return schedule
+        base = self._schedules.get(())
+        if base is None:
+            base = self._schedules[()] = self._build_schedule()
+        schedule = base if not key else self._clamp_schedule(base, effective)
+        self._schedules[key] = schedule
+        return schedule
+
+    def _clamp_schedule(
+        self, base: List[List[_TileStep]], bindings: Mapping[str, int]
+    ) -> List[List[_TileStep]]:
+        """Clamp every step's box on symbolic iter dims to the bound value.
+
+        Tiles that fall entirely past a bound extent drop out; partially
+        covered tiles get a tightened box and a recomputed membership
+        mask.  Everything else is shared with the base schedule.
+        """
+        out: List[List[_TileStep]] = []
+        for steps in base:
+            clamped: List[_TileStep] = []
+            for step in steps:
+                rep = step.rep
+                sym_extents = getattr(rep.stmt, "sym_extents", None) or {}
+                if not sym_extents:
+                    clamped.append(step)
+                    continue
+                box = list(step.box)
+                changed = False
+                empty = False
+                for k, iname in enumerate(rep.stmt.iter_names):
+                    bound = bindings.get(sym_extents.get(iname, ""))
+                    if bound is None:
+                        continue
+                    lo, hi = box[k]
+                    if lo > bound - 1:
+                        empty = True
+                        break
+                    if hi > bound - 1:
+                        box[k] = (lo, bound - 1)
+                        changed = True
+                if empty:
+                    continue
+                if not changed:
+                    clamped.append(step)
+                    continue
+                mask = None
+                if rep.plan is not None:
+                    mask = _membership_mask(rep.membership, step.tile, box)
+                    if mask is False:
+                        continue
+                clamped.append(
+                    _TileStep(rep, step.tile, step.tile_env, box, mask)
+                )
+            out.append(clamped)
+        return out
 
     def workspace_arrays(self) -> Dict[str, np.ndarray]:
         """Fresh zeroed arrays for the program's intermediate tensors
@@ -315,10 +390,28 @@ class ProgramReplay:
         (e.g. arena slot views); every written tensor is zeroed before
         execution (reduction statements accumulate into their buffers),
         and missing entries are freshly allocated.
+
+        For shape-generic programs the values of the symbolic dims are
+        inferred from the input array shapes; the replay then runs the
+        compile-time schedule with every tile box clamped to the bound
+        extents, and outputs come back at the bound shapes.  Programs
+        whose legality proof concretized (``shape_generic`` is false)
+        accept only the declared maximum shapes.
         """
         from repro.runtime.reference import numpy_dtype
 
-        buffers = bind_inputs(self.kernel, inputs)
+        sym_dims = getattr(self.kernel, "sym_dims", None) or {}
+        bindings = infer_bindings(self.kernel, inputs) if sym_dims else {}
+        effective = {
+            k: v for k, v in bindings.items() if v != sym_dims.get(k)
+        }
+        if effective and not getattr(self.kernel, "shape_generic", False):
+            raise ValueError(
+                f"program {self.kernel.name!r} was concretized at its "
+                f"maximum shapes (the parametric legality proof failed); "
+                f"it cannot replay at bindings {effective}"
+            )
+        buffers = bind_inputs(self.kernel, inputs, bindings)
         provided: Dict[str, np.ndarray] = {}
         if workspace:
             provided.update(workspace)
@@ -328,31 +421,36 @@ class ProgramReplay:
             name = stmt.tensor.name
             if name in buffers:
                 continue
+            shape = bound_shape(stmt.tensor, bindings)
             arr = provided.get(name)
             if arr is None:
                 buffers[name] = np.zeros(
-                    stmt.tensor.shape, dtype=numpy_dtype(stmt.tensor.dtype)
+                    shape, dtype=numpy_dtype(stmt.tensor.dtype)
                 )
-            else:
-                if tuple(arr.shape) != tuple(stmt.tensor.shape):
-                    raise ValueError(
-                        f"buffer for {name!r}: expected shape "
-                        f"{stmt.tensor.shape}, got {arr.shape}"
-                    )
-                arr.fill(0)
-                buffers[name] = arr
+                continue
+            if tuple(arr.shape) == tuple(stmt.tensor.shape) != tuple(shape):
+                # A maximum-shape arena slot under a smaller binding:
+                # execute into its leading corner (clamped boxes never
+                # touch the rest).
+                arr = arr[tuple(slice(0, s) for s in shape)]
+            elif tuple(arr.shape) != tuple(shape):
+                raise ValueError(
+                    f"buffer for {name!r}: expected shape "
+                    f"{shape}, got {arr.shape}"
+                )
+            arr.fill(0)
+            buffers[name] = arr
         # Fused-producer dedup masks are per-invocation state.
         for _group, replays in self._group_replays:
             for rep in replays:
                 if rep.executed is not None:
                     rep.executed.fill(False)
 
-        if self._schedule is None:
-            self._schedule = self._build_schedule()
+        schedule = self._schedule_for(effective)
         vectorized.note_replay()
         vec_seconds = 0.0
         vec_stmts = set()
-        for steps in self._schedule:
+        for steps in schedule:
             for step in steps:
                 rep = step.rep
                 if rep.plan is not None:

@@ -208,6 +208,8 @@ def build(
         key = _program_cache_key(frontend, options)
         with perf.stage("backend.cache_probe"):
             cached = diskcache.load(key)
+        if key is not None and getattr(frontend.kernel, "sym_dims", None):
+            diskcache.note_shapeclass_probe(isinstance(cached, CompileResult))
         if isinstance(cached, CompileResult):
             cached.resilience = report
             return cached
@@ -474,8 +476,15 @@ def _select_tile_sizes(frontend: FrontEnd, options: AkgOptions) -> List[int]:
     # whatever the rung proposes, so any rung yields a legal build.
     def _auto_search() -> List[int]:
         evaluator = _fit_evaluator(frontend, options)
+        # Symbolic band dims tile at size 1: the tile grid along a
+        # runtime-bound extent must stay binding-independent, and
+        # unit tiles clamp exactly (whole tiles drop, none split).
         tiler = AutoTiler(
-            hw, evaluator, extents, double_buffered=options.double_buffer
+            hw,
+            evaluator,
+            extents,
+            double_buffered=options.double_buffer,
+            fixed_sizes={k: 1 for k in _sym_band_positions(frontend)},
         )
         return tiler.search()
 
@@ -485,6 +494,32 @@ def _select_tile_sizes(frontend: FrontEnd, options: AkgOptions) -> List[int]:
         ("static-heuristic", lambda: _static_tile_sizes(extents)),
         ("minimal", lambda: [1] * len(extents)),
     )
+
+
+def _sym_band_positions(frontend: FrontEnd) -> List[int]:
+    """Band dims of the live-out statement carrying a symbolic dim.
+
+    Mirrors ``_liveout_extents``: the tiler's size vector aligns with
+    the leading iter dims of the last live-out statement.  Empty unless
+    the kernel passed the parametric legality proof — a concretized
+    kernel tiles like any concrete one.
+    """
+    kernel = frontend.kernel
+    if not getattr(kernel, "shape_generic", False):
+        return []
+    clustering = frontend.clustering
+    liveout_ids = [
+        s.stmt_id
+        for ci in sorted(clustering.live_out)
+        for s in clustering.clusters[ci]
+    ]
+    stmt = next(s for s in kernel.statements if s.stmt_id == liveout_ids[-1])
+    sym_extents = getattr(stmt, "sym_extents", None) or {}
+    return [
+        k
+        for k, name in enumerate(stmt.iter_names[: frontend.band_rows])
+        if name in sym_extents
+    ]
 
 
 def _static_tile_sizes(extents: List[int]) -> List[int]:

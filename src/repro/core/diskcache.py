@@ -76,6 +76,9 @@ __all__ = [
     "disabled",
     "disk_cache_stats",
     "reset_disk_cache_stats",
+    "note_shapeclass_probe",
+    "shapeclass_stats",
+    "reset_shapeclass_stats",
 ]
 
 #: Bump whenever the pickled payload layout or the fingerprint scheme
@@ -409,6 +412,38 @@ def reset_disk_cache_stats() -> None:
         _cache.reset_stats()
 
 
+# -- shape-class counters ------------------------------------------------------
+#
+# Probes of the frontend/program caches for *symbolic* kernels land in
+# exactly one disk-cache bucket per shape class (the fingerprint keys on
+# the symbolic signature, not the requested batch size).  These counters
+# make the bucketing observable in production — surfaced by
+# ``akgc --cache-stats`` and the ``akgd`` ``stats`` verb — independent of
+# the plain hit/miss counters that also count concrete kernels.
+
+_shapeclass_lock = threading.Lock()
+_shapeclass_stats = {"hits": 0, "misses": 0}
+
+
+def note_shapeclass_probe(hit: bool) -> None:
+    """Record one cache probe for a shape-generic (symbolic) kernel."""
+    with _shapeclass_lock:
+        _shapeclass_stats["hits" if hit else "misses"] += 1
+
+
+def shapeclass_stats() -> Dict[str, int]:
+    """Hit/miss counters of shape-class cache probes (process-global)."""
+    with _shapeclass_lock:
+        return dict(_shapeclass_stats)
+
+
+def reset_shapeclass_stats() -> None:
+    """Zero the shape-class probe counters."""
+    with _shapeclass_lock:
+        _shapeclass_stats["hits"] = 0
+        _shapeclass_stats["misses"] = 0
+
+
 # -- cached load/store helpers -------------------------------------------------
 
 
@@ -481,6 +516,14 @@ def ir_fingerprint(outputs) -> str:
             var_ids[key] = len(var_ids)
         return var_ids[key]
 
+    def axis_fp(a) -> str:
+        # The symbolic-dim marker keeps a shape-generic graph distinct
+        # from a concrete graph at the declared maximum, while staying
+        # identical across *requested* batch sizes (the shape-class key).
+        sym = getattr(a, "sym", None)
+        tail = f":sym={sym}" if sym else ""
+        return f"v{var_id(a)}:{a.extent}:{a.kind}{tail}"
+
     def expr_fp(e) -> str:
         if isinstance(e, IntImm):
             return f"i{e.value}"
@@ -504,9 +547,7 @@ def ir_fingerprint(outputs) -> str:
         if isinstance(e, Cast):
             return f"cast<{e.dtype}>({expr_fp(e.a)})"
         if isinstance(e, Reduce):
-            axes = ",".join(
-                f"v{var_id(a)}:{a.extent}:{a.kind}" for a in e.axes
-            )
+            axes = ",".join(axis_fp(a) for a in e.axes)
             return f"{e.op}[{axes}]({expr_fp(e.value)})"
         raise FingerprintError(f"unfingerprintable expr node {type(e).__name__}")
 
@@ -521,12 +562,16 @@ def ir_fingerprint(outputs) -> str:
         tid = len(tensor_ids)
         tensor_ids[id(t)] = tid
         head = f"T{tid}:{t.name}:{t.shape}:{t.dtype}"
+        sym_axes = getattr(t, "sym_axes", None)
+        if sym_axes:
+            marks = ",".join(
+                f"{i}={d.name}<={d.max}" for i, d in sorted(sym_axes.items())
+            )
+            head += f":sym{{{marks}}}"
         if t.op is None:
             chunks.append(head + ":ph")
         else:
-            axes = ",".join(
-                f"v{var_id(a)}:{a.extent}:{a.kind}" for a in t.op.axes
-            )
+            axes = ",".join(axis_fp(a) for a in t.op.axes)
             chunks.append(f"{head}:axes[{axes}]:{expr_fp(t.op.body)}")
 
     for out in out_list:

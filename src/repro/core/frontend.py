@@ -149,6 +149,8 @@ def run_frontend(
     key = _frontend_cache_key(outputs, name, hw, scheduler_options)
     with perf.stage("frontend.cache_probe"):
         cached = diskcache.load(key)
+    if key is not None and graph_has_symbolic(outputs):
+        diskcache.note_shapeclass_probe(isinstance(cached, FrontEnd))
     if isinstance(cached, FrontEnd):
         cached.cache_key = key
         return cached
@@ -163,6 +165,10 @@ def run_frontend(
             "frontend.deps", budget
         ):
             deps = compute_dependences(kernel)
+        with perf.stage("frontend.shape_generic"), resilience.stage_scope(
+            "frontend.shape_generic", budget
+        ):
+            _prove_shape_generic(kernel)
         with perf.stage("frontend.cluster"), resilience.stage_scope(
             "frontend.cluster", budget
         ):
@@ -195,6 +201,52 @@ def run_frontend(
     if not degraded:
         diskcache.store(key, frontend)
     return frontend
+
+
+def graph_has_symbolic(outputs) -> bool:
+    """True when any tensor reachable from ``outputs`` has a symbolic dim."""
+    from repro.ir.tensor import Tensor
+
+    out_list = list(outputs) if isinstance(outputs, (list, tuple)) else [outputs]
+    for out in out_list:
+        if not isinstance(out, Tensor):
+            return False
+        for t in out.ancestors():
+            if getattr(t, "sym_axes", None):
+                return True
+    return False
+
+
+def _prove_shape_generic(kernel: LoweredKernel) -> None:
+    """Run the parametric legality proof; concretize on any failure.
+
+    Success marks the kernel ``shape_generic`` (replay accepts any
+    binding of the symbolic dims).  Failure — a structural violation, a
+    provable cross-batch dependence, or a solver budget blow-up — falls
+    back to compiling at the declared maximum, recorded as a
+    ``concretized`` resilience event.  The event deliberately does *not*
+    mark the result degraded: a concretized compile is a correct compile
+    of the worst-case shapes, and caching it stays sound.
+    """
+    from repro.core.errors import ReproError
+    from repro.sched.deps import check_parametric_batch_legality
+
+    if not getattr(kernel, "sym_dims", None):
+        return
+    try:
+        reason = check_parametric_batch_legality(kernel)
+    except ReproError as exc:
+        reason = f"legality proof aborted: {exc}"
+    if reason is None:
+        kernel.shape_generic = True
+    else:
+        kernel.shape_generic = False
+        resilience.note_event(
+            "frontend.shape_generic",
+            "concretized",
+            fallback="concrete-upper-bound",
+            detail=reason,
+        )
 
 
 def _schedule_with_ladder(

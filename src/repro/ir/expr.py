@@ -117,13 +117,25 @@ class IterVar(Expr):
 
     dtype = "int32"
 
-    def __init__(self, name: str, extent: int, kind: str = "data", lower: int = 0):
+    def __init__(
+        self,
+        name: str,
+        extent: int,
+        kind: str = "data",
+        lower: int = 0,
+        sym: Optional[str] = None,
+    ):
         if kind not in ("data", "reduce"):
             raise ValueError(f"bad IterVar kind {kind!r}")
         self.name = name
         self.lower = lower
         self.extent = int(extent)
         self.kind = kind
+        # Name of the symbolic dimension this iterator ranges over, or
+        # None for a concrete extent.  ``extent`` always holds the
+        # declared upper bound, so every consumer that only looks at
+        # ``extent`` sees the concrete worst case.
+        self.sym = sym
 
     def to_str(self) -> str:
         return self.name

@@ -94,6 +94,7 @@ class PolyStatement:
         kind: str,
         reduce_op: Optional[str] = None,
         var_names: Optional[Dict[int, str]] = None,
+        sym_extents: Optional[Dict[str, str]] = None,
     ):
         if kind not in ("compute", "init", "reduce"):
             raise ValueError(f"bad statement kind {kind!r}")
@@ -109,6 +110,9 @@ class PolyStatement:
         self.reduce_op = reduce_op
         # id(IterVar) -> canonical dim name, for the executor.
         self.var_names: Dict[int, str] = var_names or {}
+        # iteration dim name -> symbolic dim name, for dims whose extent
+        # is a declared upper bound that replay clamps to the bound value.
+        self.sym_extents: Dict[str, str] = sym_extents or {}
 
     # -- pickling ----------------------------------------------------------
     #
@@ -146,6 +150,7 @@ class PolyStatement:
         pairs = state.pop("var_names")
         self.__dict__.update(state)
         self.var_names = {id(iv): name for iv, name in pairs}
+        self.__dict__.setdefault("sym_extents", {})
 
     @property
     def space(self) -> Space:
@@ -238,11 +243,18 @@ class LoweredKernel:
         inputs: List[Tensor],
         outputs: List[Tensor],
         statements: List[PolyStatement],
+        sym_dims: Optional[Dict[str, int]] = None,
     ):
         self.name = name
         self.inputs = inputs
         self.outputs = outputs
         self.statements = statements
+        # symbolic dim name -> declared inclusive maximum, over the whole
+        # kernel.  Empty for fully concrete kernels.
+        self.sym_dims: Dict[str, int] = sym_dims or {}
+        # Set by the frontend once the parametric legality proof passes;
+        # False means replay only accepts the full (maximum) shapes.
+        self.shape_generic: bool = False
 
     @property
     def intermediates(self) -> List[Tensor]:
@@ -337,6 +349,19 @@ def lower(
     inputs = [t for t in order if t.is_placeholder]
     computed = [t for t in order if not t.is_placeholder]
 
+    # Aggregate the symbolic dims of the whole graph; one name must mean
+    # one bound everywhere, or binding at replay would be ambiguous.
+    sym_dims: Dict[str, int] = {}
+    for t in order:
+        for dim in getattr(t, "sym_axes", {}).values():
+            known = sym_dims.get(dim.name)
+            if known is not None and known != dim.max:
+                raise ValueError(
+                    f"symbolic dim {dim.name!r} declared with max {known} "
+                    f"and max {dim.max} in the same kernel"
+                )
+            sym_dims[dim.name] = dim.max
+
     statements: List[PolyStatement] = []
     sid_counter = itertools.count()
     used_names: set = set()
@@ -368,6 +393,13 @@ def lower(
                 names.append(n)
             return mapping, names
 
+        def sym_of(axes, names) -> Dict[str, str]:
+            return {
+                n: axis.sym
+                for axis, n in zip(axes, names)
+                if getattr(axis, "sym", None)
+            }
+
         if is_reduce:
             init_names_map, init_data_names = fresh_statement_names(op.axes)
             init_id = f"S{next(sid_counter)}"
@@ -384,6 +416,7 @@ def lower(
                 expr=body.init_value,
                 kind="init",
                 var_names=init_names_map,
+                sym_extents=sym_of(op.axes, init_data_names),
             )
             statements.append(init_stmt)
 
@@ -408,6 +441,7 @@ def lower(
                 kind="reduce",
                 reduce_op=body.op,
                 var_names=upd_names_map,
+                sym_extents=sym_of(op.axes, upd_data_names),
             )
             statements.append(upd_stmt)
         else:
@@ -428,10 +462,11 @@ def lower(
                     expr=body,
                     kind="compute",
                     var_names=var_names,
+                    sym_extents=sym_of(op.axes, data_names),
                 )
             )
 
-    return LoweredKernel(name, inputs, list(outputs), statements)
+    return LoweredKernel(name, inputs, list(outputs), statements, sym_dims=sym_dims)
 
 
 def _reads_of(expr: Expr, var_names: Dict[int, str]) -> List[TensorAccess]:

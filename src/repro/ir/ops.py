@@ -30,18 +30,18 @@ from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis, te_max, t
 def elementwise_unary(x: Tensor, op: str, name: Optional[str] = None) -> Tensor:
     """Apply a unary math op to every element."""
     return compute(
-        x.shape, lambda *idx: UnaryOp(op, x[tuple(idx)]), name=name or f"{op}_out"
+        x.sym_shape, lambda *idx: UnaryOp(op, x[tuple(idx)]), name=name or f"{op}_out"
     )
 
 
 def elementwise_binary(
     a: Tensor, b: Tensor, op: str, name: Optional[str] = None
 ) -> Tensor:
-    """Apply a binary op element-wise (shapes must match)."""
-    if a.shape != b.shape:
-        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    """Apply a binary op element-wise (shapes must match, symbolic dims too)."""
+    if a.sym_shape != b.sym_shape:
+        raise ValueError(f"shape mismatch {a.sym_shape} vs {b.sym_shape}")
     return compute(
-        a.shape,
+        a.sym_shape,
         lambda *idx: BinaryOp(op, a[tuple(idx)], b[tuple(idx)]),
         name=name or f"{op}_out",
     )
@@ -90,21 +90,21 @@ def abs_op(x: Tensor, name: Optional[str] = None) -> Tensor:
 def scalar_add(x: Tensor, value: float, name: Optional[str] = None) -> Tensor:
     """Add a scalar constant to every element (bias in the running example)."""
     return compute(
-        x.shape, lambda *idx: x[tuple(idx)] + wrap(value), name=name or "scalar_add"
+        x.sym_shape, lambda *idx: x[tuple(idx)] + wrap(value), name=name or "scalar_add"
     )
 
 
 def scalar_mul(x: Tensor, value: float, name: Optional[str] = None) -> Tensor:
     """Multiply every element by a scalar constant."""
     return compute(
-        x.shape, lambda *idx: x[tuple(idx)] * wrap(value), name=name or "scalar_mul"
+        x.sym_shape, lambda *idx: x[tuple(idx)] * wrap(value), name=name or "scalar_mul"
     )
 
 
 def cast(x: Tensor, dtype: str, name: Optional[str] = None) -> Tensor:
     """Precision conversion (op5)."""
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: Cast(dtype, x[tuple(idx)]),
         name=name or "cast",
         dtype=dtype,
@@ -116,7 +116,7 @@ def broadcast_add_channel(x: Tensor, bias: Tensor, name: Optional[str] = None) -
     if len(x.shape) != 4 or bias.shape != (x.shape[1],):
         raise ValueError("broadcast_add_channel expects NCHW and bias[C]")
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda n, c, h, w: x[n, c, h, w] + bias[c],
         name=name or "bias_add",
     )
@@ -132,7 +132,7 @@ def scale_shift_channel(
     if len(x.shape) != 4 or gamma.shape != (x.shape[1],) or beta.shape != (x.shape[1],):
         raise ValueError("scale_shift_channel expects NCHW with [C] params")
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda n, c, h, w: x[n, c, h, w] * gamma[c] + beta[c],
         name=name or "scale_shift",
     )
@@ -142,7 +142,7 @@ def transpose(x: Tensor, perm: Sequence[int], name: Optional[str] = None) -> Ten
     """Dimension permutation (op6)."""
     if sorted(perm) != list(range(len(x.shape))):
         raise ValueError(f"bad permutation {perm}")
-    out_shape = tuple(x.shape[p] for p in perm)
+    out_shape = tuple(x.sym_shape[p] for p in perm)
 
     def body(*idx):
         src = [None] * len(perm)
@@ -168,7 +168,7 @@ def one_hot(
     """
     if len(indices.shape) != 1:
         raise ValueError("one_hot expects a 1-D index tensor")
-    n = indices.shape[0]
+    n = indices.sym_shape[0]
     return compute(
         (n, depth),
         lambda i, d: Select(
@@ -183,7 +183,7 @@ def pad2d(x: Tensor, pad_h: int, pad_w: int, name: Optional[str] = None) -> Tens
     if pad_h == 0 and pad_w == 0:
         return x
     n, c, h, w = x.shape
-    out_shape = (n, c, h + 2 * pad_h, w + 2 * pad_w)
+    out_shape = (x.sym_shape[0], c, h + 2 * pad_h, w + 2 * pad_w)
 
     def body(nn, cc, hh, ww):
         cond = BinaryOp(
@@ -211,7 +211,7 @@ def matmul(a: Tensor, b: Tensor, name: Optional[str] = None) -> Tensor:
     """Matrix product (op2): C[i, j] = sum_k A[i, k] * B[k, j]."""
     if len(a.shape) != 2 or len(b.shape) != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"matmul shape mismatch: {a.shape} x {b.shape}")
-    m, k = a.shape
+    m, k = a.sym_shape[0], a.shape[1]
     _, n = b.shape
     kk = reduce_axis((0, k), "k_red")
     return compute(
@@ -225,9 +225,9 @@ def batched_matmul(a: Tensor, b: Tensor, name: Optional[str] = None) -> Tensor:
     """Batched matrix product (op4) over a leading batch dim."""
     if len(a.shape) != 3 or len(b.shape) != 3:
         raise ValueError("batched_matmul expects 3-D operands")
-    if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+    if a.sym_shape[0] != b.sym_shape[0] or a.shape[2] != b.shape[1]:
         raise ValueError(f"batched_matmul shape mismatch: {a.shape} x {b.shape}")
-    batch, m, k = a.shape
+    batch, m, k = a.sym_shape[0], a.shape[1], a.shape[2]
     _, _, n = b.shape
     kk = reduce_axis((0, k), "bk_red")
     return compute(
@@ -254,7 +254,7 @@ def conv2d(
     """
     if len(data.shape) != 4 or len(weight.shape) != 4:
         raise ValueError("conv2d expects NCHW data and OIHW weight")
-    n, c, h, w = data.shape
+    n, c, h, w = data.sym_shape[0], data.shape[1], data.shape[2], data.shape[3]
     co, ci, kh, kw = weight.shape
     if ci != c:
         raise ValueError(f"channel mismatch: data C={c}, weight CI={ci}")
@@ -326,7 +326,7 @@ def batch_norm_update(
     if len(x.shape) != 4:
         raise ValueError("batch_norm_update expects NCHW")
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda n, c, h, w: (
             (x[n, c, h, w] - mean[c])
             * UnaryOp("rsqrt", var[c] + wrap(epsilon))
@@ -347,7 +347,7 @@ def depthwise_conv2d(
     """Depthwise 2-D convolution (MobileNet): ``weight`` is ``[C, KH, KW]``."""
     if len(data.shape) != 4 or len(weight.shape) != 3:
         raise ValueError("depthwise_conv2d expects NCHW data and [C,KH,KW] weight")
-    n, c, h, w = data.shape
+    n, c, h, w = data.sym_shape[0], data.shape[1], data.shape[2], data.shape[3]
     cw, kh, kw = weight.shape
     if cw != c:
         raise ValueError(f"channel mismatch: data C={c}, weight C={cw}")
@@ -379,7 +379,7 @@ def depthwise_conv2d(
 
 
 def _pool2d(data, window, stride, reducer, name):
-    n, c, h, w = data.shape
+    n, c, h, w = data.sym_shape[0], data.shape[1], data.shape[2], data.shape[3]
     kh, kw = window
     sh, sw = stride
     ho = (h - kh) // sh + 1
@@ -429,18 +429,18 @@ def gelu(x: Tensor, name: Optional[str] = None) -> Tensor:
     """GELU (tanh approximation), the BERT activation."""
     name = name or "gelu"
     cube_term = compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: x[tuple(idx)] * x[tuple(idx)] * x[tuple(idx)] * wrap(0.044715)
         + x[tuple(idx)],
         name=f"{name}_inner",
     )
     t = compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: UnaryOp("tanh", cube_term[tuple(idx)] * wrap(0.7978845608)),
         name=f"{name}_tanh",
     )
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: x[tuple(idx)] * (t[tuple(idx)] + 1.0) * wrap(0.5),
         name=name,
     )
@@ -454,7 +454,8 @@ def layer_norm(
     name: Optional[str] = None,
 ) -> Tensor:
     """Layer normalisation over the last axis (BERT)."""
-    *lead, last = x.shape
+    *lead, _ = x.sym_shape
+    last = x.shape[-1]
     name = name or "ln"
     r1 = reduce_axis((0, last), "ln_r1")
     mean = compute(
@@ -472,7 +473,7 @@ def layer_norm(
     )
     inv_n = 1.0 / last
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: (
             (x[tuple(idx)] - mean[tuple(idx[:-1])] * wrap(inv_n))
             * UnaryOp(
@@ -498,7 +499,7 @@ def dense(
     if bias.shape != (weight.shape[1],):
         raise ValueError("dense bias must match the output features")
     return compute(
-        out.shape,
+        out.sym_shape,
         lambda i, j: out[i, j] + bias[j],
         name=f"{name or 'dense'}_bias",
     )
@@ -510,7 +511,7 @@ def embedding_lookup(
     """Gather rows of ``table`` by ``indices`` (BERT input embedding)."""
     if len(table.shape) != 2 or len(indices.shape) != 1:
         raise ValueError("embedding_lookup expects table[V,H] and indices[N]")
-    n = indices.shape[0]
+    n = indices.sym_shape[0]
     hidden = table.shape[1]
     return compute(
         (n, hidden),
@@ -521,7 +522,8 @@ def embedding_lookup(
 
 def softmax_last_axis(x: Tensor, name: Optional[str] = None) -> Tensor:
     """Numerically-stable softmax over the last axis (used in BERT subgraphs)."""
-    *lead, last = x.shape
+    *lead, _ = x.sym_shape
+    last = x.shape[-1]
     rmax = reduce_axis((0, last), "sm_rmax")
     mx = compute(
         tuple(lead),
@@ -529,7 +531,7 @@ def softmax_last_axis(x: Tensor, name: Optional[str] = None) -> Tensor:
         name=f"{name or 'softmax'}_max",
     )
     ex = compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: UnaryOp("exp", x[tuple(idx)] - mx[tuple(idx[:-1])]),
         name=f"{name or 'softmax'}_exp",
     )
@@ -540,7 +542,7 @@ def softmax_last_axis(x: Tensor, name: Optional[str] = None) -> Tensor:
         name=f"{name or 'softmax'}_sum",
     )
     return compute(
-        x.shape,
+        x.sym_shape,
         lambda *idx: ex[tuple(idx)] / total[tuple(idx[:-1])],
         name=name or "softmax",
     )

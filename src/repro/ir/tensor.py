@@ -17,7 +17,7 @@ Example (the paper's running example, Fig. 3a)::
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ir.expr import Expr, IterVar, Reduce, TensorRef, wrap
 
@@ -28,22 +28,72 @@ def _auto_name(prefix: str) -> str:
     return f"{prefix}{next(_name_counter)}"
 
 
+class SymDim:
+    """A named symbolic dimension with a declared inclusive upper bound.
+
+    Appears wherever a shape extent is expected (``placeholder``,
+    ``compute``): the tensor's concrete shape stores ``max`` — so every
+    shape-driven decision (tiling, buffers, domains) sees the worst case
+    — while the symbolic identity rides alongside on
+    :attr:`Tensor.sym_axes`.  At replay time the concrete value is bound
+    from the input arrays, anywhere in ``[1, max]``.
+    """
+
+    __slots__ = ("name", "max")
+
+    def __init__(self, name: str, max: int):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"SymDim needs a non-empty string name, got {name!r}")
+        self.name = name
+        self.max = int(max)
+        if self.max < 1:
+            raise ValueError(f"SymDim {name!r} needs max >= 1, got {max}")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SymDim)
+            and self.name == other.name
+            and self.max == other.max
+        )
+
+    def __hash__(self) -> int:
+        return hash((SymDim, self.name, self.max))
+
+    def __repr__(self) -> str:
+        return f"SymDim({self.name!r}, max={self.max})"
+
+
+DimSpec = Union[int, SymDim]
+
+
 class Tensor:
     """A named multi-dimensional value: either an input or a compute result."""
 
     def __init__(
         self,
         name: str,
-        shape: Sequence[int],
+        shape: Sequence[DimSpec],
         dtype: str = "fp32",
         op: Optional["ComputeOp"] = None,
     ):
         self.name = name
-        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.sym_axes: Dict[int, SymDim] = {
+            i: d for i, d in enumerate(shape) if isinstance(d, SymDim)
+        }
+        self.shape: Tuple[int, ...] = tuple(
+            d.max if isinstance(d, SymDim) else int(d) for d in shape
+        )
         if any(s <= 0 for s in self.shape):
             raise ValueError(f"tensor {name!r} has non-positive extent: {self.shape}")
         self.dtype = dtype
         self.op = op  # None for placeholders.
+
+    @property
+    def sym_shape(self) -> Tuple[DimSpec, ...]:
+        """The shape with symbolic dims kept symbolic (ints elsewhere)."""
+        return tuple(
+            self.sym_axes.get(i, s) for i, s in enumerate(self.shape)
+        )
 
     @property
     def is_placeholder(self) -> bool:
@@ -104,14 +154,14 @@ class ComputeOp:
 
 
 def placeholder(
-    shape: Sequence[int], dtype: str = "fp32", name: Optional[str] = None
+    shape: Sequence[DimSpec], dtype: str = "fp32", name: Optional[str] = None
 ) -> Tensor:
     """Declare an external input tensor."""
     return Tensor(name or _auto_name("placeholder"), shape, dtype)
 
 
 def compute(
-    shape: Sequence[int],
+    shape: Sequence[DimSpec],
     fcompute: Callable[..., Expr],
     name: Optional[str] = None,
     dtype: Optional[str] = None,
@@ -120,12 +170,19 @@ def compute(
 
     ``fcompute`` receives one :class:`IterVar` per output dimension and
     returns the scalar expression for that element (optionally a
-    :class:`Reduce` at the root).
+    :class:`Reduce` at the root).  A :class:`SymDim` entry makes the
+    corresponding axis symbolic: its iterator ranges over the declared
+    maximum at compile time and is clamped to the bound value at replay.
     """
     name = name or _auto_name("compute")
     axes = [
-        IterVar(f"{name}_ax{i}", extent, kind="data")
-        for i, extent in enumerate(shape)
+        IterVar(
+            f"{name}_ax{i}",
+            dim.max if isinstance(dim, SymDim) else dim,
+            kind="data",
+            sym=dim.name if isinstance(dim, SymDim) else None,
+        )
+        for i, dim in enumerate(shape)
     ]
     body = wrap(fcompute(*axes))
     dtype = dtype or body.dtype
@@ -136,6 +193,11 @@ def compute(
 def reduce_axis(bounds: Tuple[int, int], name: Optional[str] = None) -> IterVar:
     """Declare a reduction axis over ``[bounds[0], bounds[1])``."""
     lo, hi = bounds
+    if isinstance(lo, SymDim) or isinstance(hi, SymDim):
+        raise ValueError(
+            "reduce_axis does not accept symbolic bounds: a reduction over a "
+            "runtime-bound dim would change the result value with the binding"
+        )
     if lo != 0:
         raise NotImplementedError("reduce_axis currently requires a 0 lower bound")
     return IterVar(name or _auto_name("red"), hi - lo, kind="reduce", lower=lo)

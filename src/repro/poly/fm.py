@@ -108,6 +108,45 @@ def project_onto(
     return list(current)
 
 
+def interval_of(
+    constraints: Sequence[Constraint], name: str
+) -> "tuple[object, object] | None":
+    """The interval ``[lo, hi]`` of ``name`` permitted by ``constraints``.
+
+    Projects the system onto ``name`` alone — every other variable,
+    including free symbolic parameters, is eliminated — and reads the
+    resulting one-variable bounds.  Returns ``None`` when the system is
+    infeasible (over the rationals); either endpoint may be ``None`` for
+    an unbounded direction.  Because FM is exact over the rationals and
+    an over-approximation over the integers, a returned interval is a
+    *superset* of the integer-feasible values — exactly the conservative
+    direction legality proofs need.
+    """
+    projected = project_onto(constraints, [name])
+    lo = None
+    hi = None
+    for c in projected:
+        if c.is_trivially_false():
+            return None
+        a = c.expr.coeff(name)
+        if a == 0:
+            continue
+        rest = c.expr - AffineExpr({name: a})
+        bound = -rest.const / a
+        if c.is_equality:
+            lo = bound if lo is None else max(lo, bound)
+            hi = bound if hi is None else min(hi, bound)
+        elif a > 0:
+            # a*name + const >= 0  =>  name >= -const/a
+            lo = bound if lo is None else max(lo, bound)
+        else:
+            # -|a|*name + const >= 0  =>  name <= const/|a|
+            hi = bound if hi is None else min(hi, bound)
+    if lo is not None and hi is not None and lo > hi:
+        return None
+    return (lo, hi)
+
+
 def remove_redundant(constraints: Sequence[Constraint]) -> List[Constraint]:
     """Cheap syntactic redundancy removal (exact duplicates, dominated consts).
 

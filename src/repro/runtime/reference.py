@@ -24,7 +24,7 @@ baseline, the CCE baselines) must produce results that match.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,18 +62,83 @@ def numpy_dtype(dtype: str) -> np.dtype:
         raise ValueError(f"unknown dtype {dtype!r}") from None
 
 
-def bind_inputs(
+def bound_shape(
+    tensor: Tensor, bindings: Optional[Mapping[str, int]] = None
+) -> Tuple[int, ...]:
+    """The tensor's concrete shape under symbolic-dim ``bindings``.
+
+    Symbolic axes take their bound value (defaulting to the declared
+    maximum when unbound); concrete axes are unchanged.
+    """
+    sym_axes = getattr(tensor, "sym_axes", None)
+    if not sym_axes or not bindings:
+        return tuple(tensor.shape)
+    return tuple(
+        bindings.get(sym_axes[i].name, s) if i in sym_axes else s
+        for i, s in enumerate(tensor.shape)
+    )
+
+
+def infer_bindings(
     kernel: LoweredKernel, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, int]:
+    """Infer symbolic-dim values from the shapes of the input arrays.
+
+    Each symbolic axis accepts any value in ``[1, max]``; the same
+    symbolic name must bind consistently across every input that carries
+    it.  Dims that appear on no input default to their declared maximum.
+    Raises ``ValueError`` on out-of-range or inconsistent shapes.
+    """
+    sym_dims: Dict[str, int] = dict(getattr(kernel, "sym_dims", None) or {})
+    bindings: Dict[str, int] = {}
+    for t in kernel.inputs:
+        sym_axes = getattr(t, "sym_axes", None)
+        if not sym_axes or t.name not in inputs:
+            continue
+        shape = np.asarray(inputs[t.name]).shape
+        if len(shape) != len(t.shape):
+            raise ValueError(
+                f"input {t.name!r}: expected rank {len(t.shape)}, "
+                f"got shape {shape}"
+            )
+        for i, dim in sym_axes.items():
+            v = int(shape[i])
+            if not 1 <= v <= dim.max:
+                raise ValueError(
+                    f"input {t.name!r} axis {i}: symbolic dim {dim.name!r} "
+                    f"must bind in [1, {dim.max}], got {v}"
+                )
+            prev = bindings.get(dim.name)
+            if prev is not None and prev != v:
+                raise ValueError(
+                    f"inconsistent binding for symbolic dim {dim.name!r}: "
+                    f"{prev} vs {v} (input {t.name!r} axis {i})"
+                )
+            bindings[dim.name] = v
+    for name, mx in sym_dims.items():
+        bindings.setdefault(name, mx)
+    return bindings
+
+
+def bind_inputs(
+    kernel: LoweredKernel,
+    inputs: Mapping[str, np.ndarray],
+    bindings: Optional[Mapping[str, int]] = None,
 ) -> Dict[str, np.ndarray]:
-    """Validate kernel inputs and seed the buffer map with them."""
+    """Validate kernel inputs and seed the buffer map with them.
+
+    With ``bindings``, symbolic axes are validated against their bound
+    values instead of the declared maxima.
+    """
     buffers: Dict[str, np.ndarray] = {}
     for t in kernel.inputs:
         if t.name not in inputs:
             raise KeyError(f"missing input tensor {t.name!r}")
         arr = np.asarray(inputs[t.name], dtype=numpy_dtype(t.dtype))
-        if arr.shape != t.shape:
+        expected = bound_shape(t, bindings)
+        if arr.shape != expected:
             raise ValueError(
-                f"input {t.name!r}: expected shape {t.shape}, got {arr.shape}"
+                f"input {t.name!r}: expected shape {expected}, got {arr.shape}"
             )
         buffers[t.name] = arr
     return buffers

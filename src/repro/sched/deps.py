@@ -314,6 +314,173 @@ def compute_dependences(
     return deps
 
 
+# -- parametric (shape-generic) legality ---------------------------------------
+#
+# A kernel whose leading dims are symbolic compiles once at the declared
+# maximum and replays at any bound value b <= max by clamping tile boxes.
+# That is only sound when no instance at batch index >= b influences an
+# instance at batch index < b.  Two complementary checks establish this:
+#
+# 1. a *structural* gate: every access to a symbolic tensor axis uses
+#    exactly the statement's matching symbolic iterator (coefficient 1,
+#    offset 0), and symbolic iterators never leak into other subscripts.
+#    This guarantees the replay-time masking semantics — instances with
+#    batch index >= b read and write only data the clamp also removed;
+#
+# 2. a *parametric dependence proof*: for every dependence-inducing
+#    access pair, the batch distance delta = b_dst - b_src is projected
+#    out of the parametric system (domains bounded by a free parameter N
+#    with 1 <= N <= max) via Fourier-Motzkin.  Legality requires the
+#    projection to be infeasible or to force delta = 0 for every value of
+#    N — the FM elimination of N *is* the proof over all batch sizes.
+#
+# Either check failing is not an error: the frontend concretizes at the
+# declared maximum (recorded as a "concretized" resilience event) and the
+# program simply refuses bindings below the maximum.
+
+
+def _parametric_domain(
+    stmt: PolyStatement, rename: Optional[Dict[str, str]] = None
+) -> List[Constraint]:
+    """Domain constraints with symbolic extents replaced by a parameter.
+
+    Concrete dims keep ``0 <= i <= extent-1``; a dim bound to symbolic
+    dim ``s`` gets ``0 <= i <= __sym_s - 1`` with ``__sym_s`` free.
+    """
+    cons: List[Constraint] = []
+    for n, extent in zip(stmt.iter_names, stmt.iter_extents):
+        v = AffineExpr.variable(rename[n] if rename else n)
+        cons.append(Constraint.ge(v, 0))
+        sym = stmt.sym_extents.get(n)
+        if sym is None:
+            cons.append(Constraint.le(v, extent - 1))
+        else:
+            cons.append(Constraint.le(v, AffineExpr.variable(f"__sym_{sym}") - 1))
+    return cons
+
+
+def _structural_batch_violation(kernel: LoweredKernel) -> Optional[str]:
+    """First structural-gate violation, or ``None`` when the gate holds."""
+    for stmt in kernel.statements:
+        stmt_syms = stmt.sym_extents
+        for n in stmt.reduce_iters:
+            if n in stmt_syms:
+                return f"{stmt.stmt_id}: symbolic reduction dim {n!r}"
+        for acc in [stmt.write] + list(stmt.reads):
+            sym_axes = getattr(acc.tensor, "sym_axes", {})
+            if acc.indices is None:
+                if sym_axes or stmt_syms:
+                    return (
+                        f"{stmt.stmt_id}: non-affine access to "
+                        f"{acc.tensor.name} in a symbolic context"
+                    )
+                continue
+            for p, idx in enumerate(acc.indices):
+                dim = sym_axes.get(p)
+                if dim is not None:
+                    vars_ = idx.variables()
+                    ok = (
+                        len(vars_) == 1
+                        and idx.const == 0
+                        and idx.coeff(vars_[0]) == 1
+                        and stmt_syms.get(vars_[0]) == dim.name
+                    )
+                    if not ok:
+                        return (
+                            f"{stmt.stmt_id}: {acc.tensor.name} axis {p} "
+                            f"(symbolic {dim.name!r}) indexed by {idx!r}, "
+                            f"not the matching symbolic iterator"
+                        )
+                else:
+                    for v in idx.variables():
+                        if v in stmt_syms:
+                            return (
+                                f"{stmt.stmt_id}: symbolic iterator {v!r} "
+                                f"indexes concrete axis {p} of "
+                                f"{acc.tensor.name}"
+                            )
+    return None
+
+
+def check_parametric_batch_legality(kernel: LoweredKernel) -> Optional[str]:
+    """Prove replay-clamping legal for every binding of the symbolic dims.
+
+    Returns ``None`` on success, else a human-readable reason the proof
+    failed (the caller then concretizes at the declared maximum).  May
+    raise :class:`~repro.core.errors.SolverBudgetError` if the FM system
+    explodes; callers treat that exactly like a failed proof.
+    """
+    from repro.poly.fm import interval_of
+
+    sym_dims = getattr(kernel, "sym_dims", {})
+    if not sym_dims:
+        return None
+    reason = _structural_batch_violation(kernel)
+    if reason is not None:
+        return reason
+
+    statements = kernel.statements
+    order = {s.stmt_id: i for i, s in enumerate(statements)}
+    accesses: Dict[str, List[Tuple[PolyStatement, TensorAccess, bool]]] = {}
+    for stmt in statements:
+        accesses.setdefault(stmt.tensor.name, []).append((stmt, stmt.write, True))
+        for read in stmt.reads:
+            accesses.setdefault(read.tensor.name, []).append((stmt, read, False))
+
+    for tensor_name, acc_list in accesses.items():
+        for s_a, acc_a, w_a in acc_list:
+            for s_b, acc_b, w_b in acc_list:
+                if not (w_a or w_b):
+                    continue
+                if s_a is not s_b and order[s_a.stmt_id] >= order[s_b.stmt_id]:
+                    continue
+                shared = sorted(
+                    set(s_a.sym_extents.values()) & set(s_b.sym_extents.values())
+                )
+                if not shared:
+                    continue
+                rename = {d: f"{d}__dst" for d in s_b.iter_names}
+                eq = _access_equal_constraints(acc_a, acc_b, rename)
+                if eq is None:
+                    return (
+                        f"non-affine access pair on {tensor_name} "
+                        f"({s_a.stmt_id} -> {s_b.stmt_id})"
+                    )
+                base: List[Constraint] = []
+                base.extend(_parametric_domain(s_a))
+                base.extend(_parametric_domain(s_b, rename))
+                base.extend(eq)
+                for s in set(s_a.sym_extents.values()) | set(
+                    s_b.sym_extents.values()
+                ):
+                    param = AffineExpr.variable(f"__sym_{s}")
+                    base.append(Constraint.ge(param, 1))
+                    base.append(Constraint.le(param, sym_dims[s]))
+                src_iter = {v: k for k, v in s_a.sym_extents.items()}
+                dst_iter = {v: k for k, v in s_b.sym_extents.items()}
+                for s in shared:
+                    cons = list(base)
+                    cons.append(
+                        Constraint.eq(
+                            AffineExpr.variable("__delta__"),
+                            AffineExpr.variable(rename[dst_iter[s]])
+                            - AffineExpr.variable(src_iter[s]),
+                        )
+                    )
+                    interval = interval_of(cons, "__delta__")
+                    if interval is None:
+                        continue  # no dependence at any batch size
+                    lo, hi = interval
+                    if lo is not None and hi is not None and lo >= 0 and hi <= 0:
+                        continue  # delta forced to 0 for every N
+                    return (
+                        f"dependence on {tensor_name} "
+                        f"({s_a.stmt_id} -> {s_b.stmt_id}) crosses symbolic "
+                        f"dim {s!r}: distance in [{lo}, {hi}]"
+                    )
+    return None
+
+
 def producer_consumer_pairs(
     deps: Sequence[Dependence],
 ) -> List[Tuple[str, str]]:

@@ -71,7 +71,11 @@ class ServiceRequest:
     set, is installed thread-locally around this request's execution
     only.  ``inputs`` (replay) maps input names to arrays; when None the
     replay handler draws seeded random inputs, so a wire client can
-    request a reproducible replay without shipping tensors.
+    request a reproducible replay without shipping tensors.  ``bindings``
+    (replay of a shape-generic kernel) maps symbolic dim names to the
+    concrete values to replay at — compile and tune requests ignore it,
+    which is exactly what lets different batch sizes of one shape class
+    coalesce into a single build.
     """
 
     __slots__ = (
@@ -85,6 +89,7 @@ class ServiceRequest:
         "inputs",
         "seed",
         "engine",
+        "bindings",
     )
 
     def __init__(
@@ -99,6 +104,7 @@ class ServiceRequest:
         inputs: Optional[Dict[str, Any]] = None,
         seed: int = 0,
         engine: str = "auto",
+        bindings: Optional[Dict[str, int]] = None,
     ):
         if kind not in KINDS:
             raise ServiceError(f"unknown request kind {kind!r} (known: {KINDS})")
@@ -112,6 +118,7 @@ class ServiceRequest:
         self.inputs = inputs
         self.seed = seed
         self.engine = engine
+        self.bindings = bindings
 
     def coalescing_key(self) -> Optional[str]:
         """Content digest under which concurrent duplicates merge.
@@ -148,6 +155,8 @@ class ServiceRequest:
             parts.append(repr(sorted(merged.items())))
         elif self.kind == "replay":
             parts.append(f"engine={self.engine}")
+            if self.bindings:
+                parts.append(f"bindings={sorted(self.bindings.items())}")
             if self.inputs is None:
                 parts.append(f"seed={self.seed}")
             else:
@@ -412,12 +421,15 @@ class CompileService:
 
     def stats(self) -> Dict[str, Any]:
         """Counters plus live queue/memo/in-flight depths."""
+        from repro.core import diskcache
+
         with self._lock:
             snap: Dict[str, Any] = dict(self._stats)
             snap["inflight"] = len(self._inflight)
             snap["memo_entries"] = len(self._memo)
         snap["queue_depth"] = self._queue.qsize()
         snap["workers"] = self.workers
+        snap["shapeclass"] = diskcache.shapeclass_stats()
         return snap
 
     # -- execution ----------------------------------------------------------
@@ -542,23 +554,31 @@ class CompileService:
         result = build(request.outputs, request.name, hw=request.hw, options=options)
         inputs = request.inputs
         if inputs is None:
-            inputs = _seeded_inputs(result.kernel, request.seed)
+            inputs = _seeded_inputs(result.kernel, request.seed, request.bindings)
         outputs = result.execute(inputs, engine=request.engine)
         return {"result": result, "outputs": outputs, "inputs": inputs}
 
 
-def _seeded_inputs(kernel, seed: int) -> Dict[str, Any]:
-    """Deterministic random inputs for a lowered kernel (wire replays)."""
+def _seeded_inputs(
+    kernel, seed: int, bindings: Optional[Dict[str, int]] = None
+) -> Dict[str, Any]:
+    """Deterministic random inputs for a lowered kernel (wire replays).
+
+    ``bindings`` draws symbolic dims at their bound extents, so a
+    shape-generic replay at batch ``b`` sees exactly the arrays a
+    concrete batch-``b`` kernel would.
+    """
     import numpy as np
 
-    from repro.runtime.reference import numpy_dtype
+    from repro.runtime.reference import bound_shape, numpy_dtype
 
     rng = np.random.default_rng(seed)
     inputs = {}
     for t in kernel.inputs:
         dt = numpy_dtype(t.dtype)
+        shape = bound_shape(t, bindings)
         if dt.kind == "i":
-            inputs[t.name] = rng.integers(0, 7, size=t.shape).astype(dt)
+            inputs[t.name] = rng.integers(0, 7, size=shape).astype(dt)
         else:
-            inputs[t.name] = rng.standard_normal(t.shape).astype(dt)
+            inputs[t.name] = rng.standard_normal(shape).astype(dt)
     return inputs

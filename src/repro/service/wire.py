@@ -19,6 +19,11 @@ Request schema (``kind`` defaults to ``compile``)::
     {"kind": "replay", "op": ..., "shape": ..., "seed": 0,
      "engine": "auto"}
 
+An optional ``"batch_max": 16`` makes the leading dim symbolic: every
+batch size of the same shape class shares one compile (requests for
+different ``shape[0]`` values coalesce into a single build), and replay
+binds ``shape[0]`` at execution time.
+
 plus the control verbs ``{"kind": "ping"}``, ``{"kind": "stats"}`` and
 ``{"kind": "shutdown"}`` handled by the server directly.
 
@@ -52,40 +57,54 @@ def demo_kernel(
     kernel: int = 3,
     stride: int = 1,
     out_channels: Optional[int] = None,
+    batch_max: Optional[int] = None,
 ):
     """Build one named demo kernel's output tensor expression.
+
+    With ``batch_max`` the leading dim (``M`` for matmul, ``N``
+    otherwise) is built symbolic with that declared maximum: the graph —
+    and hence every compile fingerprint — depends only on the shape
+    *class*, while the requested ``shape[0]`` binds at replay time.
 
     Raises ``ValueError`` on a bad op/shape combination; callers map
     that to their surface (``SystemExit`` in akgc, a ServiceError
     response in the daemon).
     """
     from repro.ir import ops
-    from repro.ir.tensor import placeholder
+    from repro.ir.tensor import SymDim, placeholder
 
     shape = [int(x) for x in shape]
+    lead = shape[0] if shape else 0
+    if batch_max is not None:
+        batch_max = int(batch_max)
+        if not 1 <= lead <= batch_max:
+            raise ValueError(
+                f"shape[0]={lead} must lie in [1, batch_max={batch_max}]"
+            )
+        lead = SymDim("N", batch_max)
     if op == "relu":
-        x = placeholder(tuple(shape), dtype=dtype, name="X")
+        x = placeholder((lead, *shape[1:]), dtype=dtype, name="X")
         return ops.relu(x, name="out")
     if op == "add":
-        x = placeholder(tuple(shape), dtype=dtype, name="X")
-        y = placeholder(tuple(shape), dtype=dtype, name="Y")
+        x = placeholder((lead, *shape[1:]), dtype=dtype, name="X")
+        y = placeholder((lead, *shape[1:]), dtype=dtype, name="Y")
         return ops.add(x, y, name="out")
     if op == "softmax":
-        x = placeholder(tuple(shape), dtype=dtype, name="X")
+        x = placeholder((lead, *shape[1:]), dtype=dtype, name="X")
         return ops.softmax_last_axis(x, name="out")
     if op == "matmul":
         if len(shape) != 3:
             raise ValueError("matmul expects shape [M, K, N]")
-        m, k, n = shape
-        a = placeholder((m, k), dtype=dtype, name="A")
+        _, k, n = shape
+        a = placeholder((lead, k), dtype=dtype, name="A")
         b = placeholder((k, n), dtype=dtype, name="B")
         return ops.matmul(a, b, name="out")
     if op == "conv2d":
         if len(shape) != 4:
             raise ValueError("conv2d expects shape [N, C, H, W]")
-        n, c, h, w = shape
+        _, c, h, w = shape
         co = out_channels or c
-        data = placeholder((n, c, h, w), dtype=dtype, name="D")
+        data = placeholder((lead, c, h, w), dtype=dtype, name="D")
         weight = placeholder((co, c, kernel, kernel), dtype=dtype, name="W")
         pad = kernel // 2
         return ops.conv2d(
@@ -134,6 +153,7 @@ def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
     shape = payload.get("shape")
     if not op or not isinstance(shape, list) or not shape:
         raise ServiceError("request needs 'op' and a non-empty 'shape' list")
+    batch_max = payload.get("batch_max")
     try:
         outputs = demo_kernel(
             op,
@@ -142,6 +162,7 @@ def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
             kernel=int(payload.get("kernel", 3)),
             stride=int(payload.get("stride", 1)),
             out_channels=payload.get("out_channels"),
+            batch_max=batch_max,
         )
     except (ValueError, TypeError) as exc:
         raise ServiceError(f"bad kernel spec: {exc}")
@@ -156,16 +177,24 @@ def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
     tune_payload = payload.get("tune") or {}
     if not isinstance(tune_payload, dict):
         raise ServiceError("'tune' must be a JSON object")
-    shape_tag = "x".join(str(int(x)) for x in shape)
+    # Symbolic requests get a shape-*class* tag (the requested batch must
+    # not leak into the kernel name: the name is part of the compile
+    # fingerprint, and batch sizes of one class must share it).
+    tags = [str(int(x)) for x in shape]
+    bindings = None
+    if batch_max is not None:
+        tags[0] = f"N{int(batch_max)}"
+        bindings = {"N": int(shape[0])}
     return ServiceRequest(
         kind,
         outputs,
-        name=payload.get("name") or f"akgd_{op}_{shape_tag}",
+        name=payload.get("name") or f"akgd_{op}_{'x'.join(tags)}",
         options=_options_from_json(payload.get("options")),
         fault_spec=fault_spec,
         tune_params=tune_payload or None,
         seed=int(payload.get("seed", 0)),
         engine=payload.get("engine", "auto"),
+        bindings=bindings,
     )
 
 

@@ -113,6 +113,7 @@ class AutoTiler:
         warmup_cycles: float = 100.0,
         double_buffered: bool = True,
         min_size: int = 1,
+        fixed_sizes: Optional[Dict[int, int]] = None,
     ):
         self.hw = hw
         self.evaluator = evaluator
@@ -120,6 +121,11 @@ class AutoTiler:
         self.warmup_cycles = warmup_cycles
         self.double_buffered = double_buffered
         self.min_size = min_size
+        # Dims pinned to a fixed tile size (dim index -> size): excluded
+        # from both the shrink phase and the hill-climb.  Used for
+        # symbolic dims, whose tile geometry must not depend on the
+        # (runtime-bound) extent.
+        self.fixed_sizes = dict(fixed_sizes or {})
 
     # -- feasibility & cost ---------------------------------------------------------
 
@@ -165,6 +171,9 @@ class AutoTiler:
         faultinject.fire("tiling.auto_search")
         sizes = list(self.extents)
         ladders = [self._ladder(e) for e in self.extents]
+        for d, v in self.fixed_sizes.items():
+            sizes[d] = min(v, self.extents[d])
+            ladders[d] = [sizes[d]]  # single rung: never shrunk or moved
 
         # Phase 1: shrink until the tile fits on chip.
         guard = 0

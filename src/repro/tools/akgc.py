@@ -49,6 +49,7 @@ def _build_kernel(args):
             kernel=args.kernel,
             stride=args.stride,
             out_channels=args.out_channels,
+            batch_max=args.batch_max,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -73,6 +74,9 @@ def _print_cache_stats() -> None:
             f"solver [{cname:<4}] : {s['hits']} hits, {s['misses']} misses "
             f"({100.0 * s['hit_rate']:.1f}%)"
         )
+    sc = diskcache.shapeclass_stats()
+    if sc["hits"] or sc["misses"]:
+        print(f"shape class   : {sc['hits']} hits, {sc['misses']} misses")
 
 
 def _run_network(args) -> int:
@@ -155,6 +159,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--kernel", type=int, default=3, help="conv window")
     parser.add_argument("--stride", type=int, default=1, help="conv stride")
     parser.add_argument("--out-channels", type=int, default=None)
+    parser.add_argument("--batch-max", type=int, default=None, metavar="MAX",
+                        help="make the leading dim symbolic with this "
+                             "declared maximum: one compile serves every "
+                             "batch size in [1, MAX] (the shape class)")
     parser.add_argument("--tile-policy", default=None, help="Fig. 4 policy text")
     parser.add_argument("--no-fusion", action="store_true")
     parser.add_argument("--sync", default="dp", choices=["dp", "empirical", "naive"])
@@ -230,6 +238,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return exit_code_for(exc)
 
     print(f"kernel        : {args.op} {args.shape} {args.dtype}")
+    if args.batch_max is not None:
+        generic = getattr(result.kernel, "shape_generic", False)
+        print(f"shape class   : N<={args.batch_max} "
+              f"({'shape-generic' if generic else 'concretized at max'})")
     print(f"tile sizes    : {result.tile_sizes}")
     print(f"tile nests    : {len(result.groups)}")
     print(f"cycles        : {report.total_cycles}")

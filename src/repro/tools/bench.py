@@ -37,7 +37,7 @@ plan replay vs kernel-at-a-time scalar-oracle inferences/sec (bit
 identity asserted), Fig. 13-style total simulated cycles, and the
 arena planner's planned-vs-naive peak bytes.
 
-Every BENCH file shares one schema envelope (:func:`_report_envelope`):
+Every BENCH file shares one schema envelope (:func:`_bench_envelope`):
 ``benchmark``, ``schema_version``, ``host``, ``platform``, ``python``,
 ``numpy``, ``timestamp``; suite payloads hang off ``config`` plus the
 suite's own sections (``kernels``, ``scenarios``, ``networks``, ...) —
@@ -72,8 +72,8 @@ from repro.tools import perf
 BENCH_SCHEMA_VERSION = 1
 
 
-def _report_envelope(benchmark: str) -> Dict[str, object]:
-    """The header every BENCH_*.json starts with (one schema, five files)."""
+def _bench_envelope(benchmark: str) -> Dict[str, object]:
+    """The header every BENCH_*.json starts with (one shared schema)."""
     import platform
     from datetime import datetime, timezone
 
@@ -235,7 +235,7 @@ def _run_suite_nodisk(
         results[name] = row
 
     return {
-        **_report_envelope("pipeline"),
+        **_bench_envelope("pipeline"),
         "config": {
             "quick": quick,
             "parallel": parallel,
@@ -379,7 +379,7 @@ def run_exec_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
         }
 
     return {
-        **_report_envelope("exec"),
+        **_bench_envelope("exec"),
         "config": {"quick": quick, "seed": seed},
         "kernels": results,
         "replay": replay,
@@ -559,7 +559,7 @@ def run_chaos_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     all_ok = all_ok and cell["acceptable"]
 
     return {
-        **_report_envelope("chaos"),
+        **_bench_envelope("chaos"),
         "config": {"quick": quick, "seed": seed},
         "scenarios": results,
         "all_acceptable": all_ok,
@@ -911,7 +911,7 @@ def run_diskcache_suite(
             ),
         }
     return {
-        **_report_envelope("diskcache"),
+        **_bench_envelope("diskcache"),
         "config": {
             "quick": quick,
             "seed": seed,
@@ -1055,7 +1055,7 @@ def run_network_suite(
         }
 
     return {
-        **_report_envelope("network"),
+        **_bench_envelope("network"),
         "config": {"quick": quick, "seed": seed, "batch": batch},
         "networks": results,
     }
@@ -1306,7 +1306,7 @@ def run_serve_suite(
         for phase in ("cold", "warm")
     )
     return {
-        **_report_envelope("serve"),
+        **_bench_envelope("serve"),
         "config": {
             "quick": quick,
             "seed": seed,
@@ -1366,6 +1366,261 @@ def _format_serve_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _shape_kernels(quick: bool):
+    """Builders for the shape-class sweep.
+
+    Each builder takes the leading dim — an ``int`` for a concrete
+    per-shape build, a :class:`~repro.ir.tensor.SymDim` for the
+    shape-generic class build — so both paths share one graph shape.
+    """
+    from repro.ir import ops
+    from repro.ir.tensor import placeholder
+
+    def relu(b):
+        x = placeholder((b, 64), "fp16", name="X")
+        return ops.relu(x, name="out")
+
+    def add(b):
+        x = placeholder((b, 48), "fp16", name="X")
+        y = placeholder((b, 48), "fp16", name="Y")
+        return ops.add(x, y, name="out")
+
+    def softmax(b):
+        x = placeholder((b, 32), "fp32", name="X")
+        return ops.softmax_last_axis(x, name="out")
+
+    def matmul(b):
+        a = placeholder((b, 24), "fp16", name="A")
+        w = placeholder((24, 40), "fp16", name="B")
+        return ops.matmul(a, w, name="out")
+
+    table = {"relu": relu, "add": add}
+    if not quick:
+        table["softmax"] = softmax
+        table["matmul"] = matmul
+    return table
+
+
+#: The batch-size sweep (8 sizes) and the declared class maximum.
+SHAPES_SWEEP = (1, 2, 3, 4, 6, 8, 12, 16)
+SHAPES_BATCH_MAX = 16
+
+
+def run_shapes_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Shape-generic compilation vs per-shape builds over a batch sweep.
+
+    For each operator, the *baseline* compiles one concrete kernel per
+    batch size in :data:`SHAPES_SWEEP` (fresh cache — what a shape-naive
+    pipeline pays).  The *shape-class* path compiles the symbolic kernel
+    once and answers every other batch size from the shape-class cache;
+    the report records compile counts, cold/warm latencies, the
+    shape-class hit rate, and — the correctness gate — whether every
+    bound replay is bit-identical to the scalar oracle run on the
+    concrete batch-``b`` lowering with the same inputs.
+    """
+    import numpy as np
+
+    from repro.core.compiler import AkgOptions, build
+    from repro.ir.lower import lower
+    from repro.ir.tensor import SymDim
+    from repro.runtime.reference import evaluate_kernel, numpy_dtype
+    from repro.service.core import CompileService
+    from repro.service.wire import request_from_json
+
+    builders = _shape_kernels(quick)
+    sweep = list(SHAPES_SWEEP)
+    bmax = SHAPES_BATCH_MAX
+
+    def seeded_inputs(kernel, b):
+        rng = np.random.default_rng(seed * 7919 + b)
+        arrays = {}
+        for t in kernel.inputs:
+            arrays[t.name] = rng.standard_normal(t.shape).astype(
+                numpy_dtype(t.dtype)
+            )
+        return arrays
+
+    kernels: Dict[str, Dict[str, object]] = {}
+    all_identical = True
+    degradation_events: List[Dict[str, object]] = []
+    total_baseline_compiles = 0
+    total_class_compiles = 0
+
+    for op, builder in builders.items():
+        # -- per-shape baseline: one compile per batch size ------------------
+        with tempfile.TemporaryDirectory(prefix="repro-shapes-") as cdir:
+            diskcache.set_cache_dir(cdir)
+            try:
+                clear_solver_caches()
+                per_shape: List[float] = []
+                for b in sweep:
+                    t0 = time.perf_counter()
+                    build(builder(b), f"shapes_{op}_b{b}")
+                    per_shape.append(time.perf_counter() - t0)
+            finally:
+                diskcache.set_cache_dir(None)
+        baseline_compiles = len(sweep)
+
+        # -- shape-class path: one compile, warm probes for the rest --------
+        with tempfile.TemporaryDirectory(prefix="repro-shapes-") as cdir:
+            diskcache.set_cache_dir(cdir)
+            try:
+                clear_solver_caches()
+                diskcache.reset_shapeclass_stats()
+                latencies: List[float] = []
+                for b in sweep:
+                    t0 = time.perf_counter()
+                    result = build(builder(SymDim("N", bmax)), f"shapes_{op}")
+                    latencies.append(time.perf_counter() - t0)
+                sc = diskcache.shapeclass_stats()
+                # Every build after the first must answer from the cache.
+                class_compiles = 1 if sc["hits"] else len(sweep)
+
+                # -- replay correctness: every binding vs the scalar oracle --
+                traced = build(
+                    builder(SymDim("N", bmax)),
+                    f"shapes_{op}",
+                    options=AkgOptions(emit_trace=True),
+                )
+                for e in traced.resilience.events:
+                    degradation_events.append({"op": op, **e})
+                shape_generic = bool(
+                    getattr(traced.kernel, "shape_generic", False)
+                )
+                bit_identical = shape_generic
+                for b in sweep:
+                    inputs = seeded_inputs(lower(builder(b), "oracle"), b)
+                    got = traced.execute(inputs)
+                    want = evaluate_kernel(
+                        lower(builder(b), "oracle"), inputs, engine="scalar"
+                    )
+                    if not all(
+                        np.array_equal(got[k], want[k])
+                        and got[k].dtype == want[k].dtype
+                        for k in want
+                    ):
+                        bit_identical = False
+            finally:
+                diskcache.set_cache_dir(None)
+
+        warm = sorted(latencies[1:])
+        total_baseline_compiles += baseline_compiles
+        total_class_compiles += class_compiles
+        all_identical = all_identical and bit_identical
+        kernels[op] = {
+            "baseline_compiles": baseline_compiles,
+            "baseline_seconds": sum(per_shape),
+            "baseline_mean_ms": 1000.0 * sum(per_shape) / len(per_shape),
+            "class_compiles": class_compiles,
+            "class_cold_seconds": latencies[0],
+            "class_warm_p50_ms": 1000.0 * _percentile(warm, 0.50),
+            "shapeclass_hits": sc["hits"],
+            "shapeclass_misses": sc["misses"],
+            "shapeclass_hit_rate": (
+                sc["hits"] / (sc["hits"] + sc["misses"])
+                if (sc["hits"] + sc["misses"])
+                else 0.0
+            ),
+            "shape_generic": shape_generic,
+            "bit_identical": bit_identical,
+        }
+
+    # -- service coalescing across batch sizes of one class ------------------
+    wire_shapes = {"relu": [0, 64], "add": [0, 48]}
+    with tempfile.TemporaryDirectory(prefix="repro-shapes-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        try:
+            clear_solver_caches()
+            with CompileService(workers=4) as service:
+                tickets = []
+                for op, shape in wire_shapes.items():
+                    for b in sweep:
+                        req = request_from_json(
+                            {
+                                "kind": "compile",
+                                "op": op,
+                                "shape": [b] + shape[1:],
+                                "batch_max": bmax,
+                            }
+                        )
+                        tickets.append(service.submit(req))
+                for t in tickets:
+                    t.result(600).raise_for_error()
+                stats = service.stats()
+        finally:
+            diskcache.set_cache_dir(None)
+    service_section = {
+        "requests": len(sweep) * len(wire_shapes),
+        "unique_classes": len(wire_shapes),
+        "builds": stats["completed"],
+        "coalesced": stats["coalesced"],
+        "memo_hits": stats["memo_hits"],
+        "one_build_per_class": stats["completed"] == len(wire_shapes),
+    }
+
+    reduction = (
+        total_baseline_compiles / total_class_compiles
+        if total_class_compiles
+        else 0.0
+    )
+    no_degradation = not degradation_events
+    all_ok = (
+        all_identical
+        and no_degradation
+        and reduction >= 8.0
+        and service_section["one_build_per_class"]
+    )
+    return {
+        **_bench_envelope("shapes"),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "sweep": sweep,
+            "batch_max": bmax,
+            "operators": list(builders),
+        },
+        "kernels": kernels,
+        "service": service_section,
+        "baseline_compiles": total_baseline_compiles,
+        "class_compiles": total_class_compiles,
+        "compile_reduction": reduction,
+        "degradation_events": degradation_events,
+        "bit_identical": all_identical,
+        "reduction_ok": reduction >= 8.0,
+        "all_ok": all_ok,
+    }
+
+
+def _format_shapes_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'kernel':<10}{'base builds':>12}{'base ms':>10}"
+        f"{'class builds':>13}{'cold(s)':>9}{'warm p50':>10}"
+        f"{'hit rate':>10}{'identical':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["kernels"].items():
+        lines.append(
+            f"{name:<10}{row['baseline_compiles']:>12}"
+            f"{row['baseline_mean_ms']:>10.1f}"
+            f"{row['class_compiles']:>13}{row['class_cold_seconds']:>9.3f}"
+            f"{row['class_warm_p50_ms']:>9.2f}ms"
+            f"{100.0 * row['shapeclass_hit_rate']:>9.1f}%"
+            f"{'yes' if row['bit_identical'] else 'NO':>11}"
+        )
+    svc = report["service"]
+    lines.append(
+        f"service: {svc['requests']} compile requests over "
+        f"{svc['unique_classes']} shape classes -> {svc['builds']} builds "
+        f"({svc['coalesced']} coalesced, {svc['memo_hits']} memo hits)"
+    )
+    lines.append(
+        f"compile reduction: {report['compile_reduction']:.1f}x "
+        f"({'ok' if report['reduction_ok'] else 'BELOW 8x TARGET'}); "
+        f"degradation events: {len(report['degradation_events'])}"
+    )
+    return "\n".join(lines)
+
+
 def _format_table(report: Dict[str, object]) -> str:
     header = (
         f"{'kernel':<12}{'legacy(s)':>11}{'mono+cache(s)':>15}"
@@ -1418,12 +1673,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "serialized submission by >= 3x with warm p50 < 50ms)",
     )
     parser.add_argument(
+        "--shapes", action="store_true",
+        help="run the shape-generic compilation benchmark instead (exit "
+             "1 unless the batch-size sweep compiles >= 8x fewer kernels "
+             "than per-shape builds with every replay bit-identical to "
+             "the scalar oracle)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="output JSON path (default BENCH_pipeline.json; "
              "BENCH_diskcache.json with --diskcache, BENCH_exec.json "
              "with --exec, BENCH_chaos.json with --chaos, "
              "BENCH_network.json with --network, BENCH_serve.json "
-             "with --serve)",
+             "with --serve, BENCH_shapes.json with --shapes)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
@@ -1437,8 +1699,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out = "BENCH_network.json"
         elif args.serve:
             args.out = "BENCH_serve.json"
+        elif args.shapes:
+            args.out = "BENCH_shapes.json"
         else:
             args.out = "BENCH_pipeline.json"
+
+    if args.shapes:
+        report = run_shapes_suite(quick=args.quick, seed=args.seed)
+        print(_format_shapes_table(report))
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+        return 0 if report["all_ok"] else 1
 
     if args.serve:
         report = run_serve_suite(quick=args.quick, seed=args.seed)

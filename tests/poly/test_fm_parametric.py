@@ -1,0 +1,162 @@
+"""Fourier-Motzkin elimination with free symbolic parameters.
+
+The parametric legality proof (:func:`repro.sched.deps.
+check_parametric_batch_legality`) rests on one property: projecting a
+system with free parameters onto a single variable yields an interval
+that is a *superset* of the values feasible at every concrete parameter
+value.  These tests pin that property directly on
+:func:`repro.poly.fm.interval_of` — parametric bounds, contradictory
+systems, degenerate (size-1) dims, and an exhaustive cross-check against
+concretized solves.
+"""
+
+from repro.poly.affine import Constraint, var
+from repro.poly.fm import interval_of, project_onto
+
+
+def _domain(name, param, param_max):
+    """0 <= name <= param - 1, 1 <= param <= param_max."""
+    return [
+        Constraint.ge(var(name), 0),
+        Constraint.le(var(name), var(param) - 1),
+        Constraint.ge(var(param), 1),
+        Constraint.le(var(param), param_max),
+    ]
+
+
+class TestParametricBounds:
+    def test_iterator_range_under_free_parameter(self):
+        # Eliminating the parameter s (1 <= s <= 8) from 0 <= i <= s-1
+        # leaves the worst-case iterator range [0, 7].
+        lo, hi = interval_of(_domain("i", "s", 8), "i")
+        assert lo == 0
+        assert hi == 7
+
+    def test_zero_distance_forced_for_all_parameter_values(self):
+        # delta = i' - i with i' == i: the interval must pin delta to 0
+        # for *every* value of the free parameter, not just one.
+        cons = (
+            _domain("i", "s", 16)
+            + [
+                Constraint.eq(var("ip"), var("i")),
+                Constraint.ge(var("ip"), 0),
+                Constraint.le(var("ip"), var("s") - 1),
+                Constraint.eq(var("delta"), var("ip") - var("i")),
+            ]
+        )
+        assert interval_of(cons, "delta") == (0, 0)
+
+    def test_parameter_dependent_distance_is_not_zero(self):
+        # delta = (i + 1) - i = 1: a genuine cross-iteration dependence
+        # must survive the projection as a nonzero interval.
+        cons = (
+            _domain("i", "s", 16)
+            + [
+                Constraint.eq(var("ip"), var("i") + 1),
+                Constraint.eq(var("delta"), var("ip") - var("i")),
+            ]
+        )
+        lo, hi = interval_of(cons, "delta")
+        assert lo == 1
+        assert hi == 1
+
+    def test_unbounded_direction_is_none(self):
+        # Only a lower bound on x: the upper endpoint must be None.
+        cons = [Constraint.ge(var("x"), 3)]
+        lo, hi = interval_of(cons, "x")
+        assert lo == 3
+        assert hi is None
+
+    def test_scaled_coefficients(self):
+        # 2x >= 3 and 2x <= 7 tighten to the integer interval [2, 3].
+        cons = [
+            Constraint.ge(var("x") * 2, 3),
+            Constraint.le(var("x") * 2, 7),
+        ]
+        lo, hi = interval_of(cons, "x")
+        assert lo == 2
+        assert hi == 3
+
+
+class TestContradictorySystems:
+    def test_directly_contradictory(self):
+        cons = [
+            Constraint.ge(var("x"), 5),
+            Constraint.le(var("x"), 2),
+        ]
+        assert interval_of(cons, "x") is None
+
+    def test_contradiction_through_parameter(self):
+        # 0 <= i <= s - 1 with s <= 0 is empty for every i.
+        cons = [
+            Constraint.ge(var("i"), 0),
+            Constraint.le(var("i"), var("s") - 1),
+            Constraint.le(var("s"), 0),
+        ]
+        assert interval_of(cons, "i") is None
+
+    def test_contradictory_equalities(self):
+        cons = [
+            Constraint.eq(var("x"), 1),
+            Constraint.eq(var("x"), 2),
+        ]
+        assert interval_of(cons, "x") is None
+
+
+class TestDegenerateDims:
+    def test_size_one_dim_pins_iterator_to_zero(self):
+        # s == 1: the only iterator value is 0.
+        cons = _domain("i", "s", 8) + [Constraint.eq(var("s"), 1)]
+        assert interval_of(cons, "i") == (0, 0)
+
+    def test_size_one_dim_zero_distance(self):
+        # With s == 1 both endpoints collapse; delta is still exactly 0.
+        cons = (
+            _domain("i", "s", 8)
+            + [
+                Constraint.eq(var("s"), 1),
+                Constraint.ge(var("ip"), 0),
+                Constraint.le(var("ip"), var("s") - 1),
+                Constraint.eq(var("delta"), var("ip") - var("i")),
+            ]
+        )
+        assert interval_of(cons, "delta") == (0, 0)
+
+
+class TestCrossCheckAgainstConcretized:
+    """The parametric interval is a superset of every concretized one."""
+
+    def _parametric(self):
+        return (
+            _domain("i", "s", 8)
+            + [
+                Constraint.ge(var("ip"), 0),
+                Constraint.le(var("ip"), var("s") - 1),
+                Constraint.eq(var("delta"), var("ip") - var("i")),
+            ]
+        )
+
+    def test_superset_of_every_concrete_parameter(self):
+        plo, phi = interval_of(self._parametric(), "delta")
+        for s in range(1, 9):
+            concrete = self._parametric() + [Constraint.eq(var("s"), s)]
+            res = interval_of(concrete, "delta")
+            assert res is not None
+            clo, chi = res
+            assert plo <= clo  # parametric lower bound is no tighter
+            assert phi >= chi  # parametric upper bound is no tighter
+        # And at the maximum parameter the bounds coincide exactly.
+        at_max = self._parametric() + [Constraint.eq(var("s"), 8)]
+        assert interval_of(at_max, "delta") == (plo, phi)
+
+    def test_projection_matches_concrete_union(self):
+        # project_onto the iterator alone: the parametric range equals
+        # the union of the concretized ranges (here [0, 7]).
+        projected = project_onto(_domain("i", "s", 8), ["i"])
+        lo, hi = interval_of(projected, "i")
+        concrete_his = []
+        for s in range(1, 9):
+            cons = _domain("i", "s", 8) + [Constraint.eq(var("s"), s)]
+            concrete_his.append(interval_of(cons, "i")[1])
+        assert lo == 0
+        assert hi == max(concrete_his)
