@@ -17,6 +17,14 @@ for arg in "$@"; do
     esac
 done
 
+echo "== lint (src/ and tests/) =="
+if command -v ruff > /dev/null 2>&1; then
+    ruff check src tests
+else
+    python -m repro.tools.lint src tests
+fi
+
+echo
 echo "== tier-1 test suite =="
 python -m pytest tests/ -x -q
 
@@ -79,6 +87,34 @@ echo "== chaos sweep (single-fault scenarios, typed-or-identical) =="
 python -m pytest tests/tools/test_chaos.py -m chaos -q
 python -m repro.tools.bench --chaos --quick --out /tmp/bench_chaos_smoke.json
 rm -f /tmp/bench_chaos_smoke.json
+
+echo
+echo "== static verifier smoke (clean pass + seeded mutant) =="
+python -m repro.tools.akgc matmul --shape 16,16,16 --no-disk-cache --verify \
+    | tee /tmp/akgc_verify.txt
+grep -q "verified      :" /tmp/akgc_verify.txt \
+    || { echo "FAIL: akgc --verify did not report verification"; exit 1; }
+rm -f /tmp/akgc_verify.txt
+python - <<'EOF'
+from repro.core import diskcache
+from repro.core.compiler import build
+from repro.core.errors import VerificationError
+from repro.service.wire import demo_kernel
+from repro.verify import verify_result
+from repro.verify.mutate import seeded_mutations
+
+with diskcache.disabled():
+    result = build(demo_kernel("matmul", [16, 16, 16]), "verify_smoke")
+mutants = seeded_mutations(result)
+assert mutants, "no mutations applied to the matmul kernel"
+for name, mutant in mutants:
+    try:
+        verify_result(mutant)
+    except VerificationError:
+        continue
+    raise SystemExit(f"FAIL: mutant {name} survived the verifier")
+print(f"verify smoke ok: clean pass + {len(mutants)} mutants rejected")
+EOF
 
 echo
 echo "== network pipeline smoke (compile + batched replay) =="

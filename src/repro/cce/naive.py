@@ -17,7 +17,7 @@ scalar loops) but skips every optimisation that takes effort:
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.hw.isa import Barrier, Instr, Program
 from repro.hw.simulator import SimReport, Simulator

@@ -10,7 +10,7 @@ polyhedral AST of the schedule tree.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.hw.isa import (
     Barrier,

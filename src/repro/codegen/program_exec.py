@@ -50,11 +50,10 @@ import numpy as np
 from repro.core.errors import ExecutionFallbackError
 from repro.fusion.posttile import TiledGroup
 from repro.hw.isa import Program
-from repro.ir.lower import LoweredKernel, PolyStatement
+from repro.ir.lower import LoweredKernel
 from repro.runtime import vectorized
 from repro.runtime.reference import (
     ENGINES,
-    allocate_outputs,
     bind_inputs,
     bound_shape,
     infer_bindings,

@@ -19,7 +19,7 @@ and then inserts flags according to a policy:
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from repro.hw.isa import Barrier, Instr, Pipe, SetFlag, WaitFlag
 

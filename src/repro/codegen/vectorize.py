@@ -14,17 +14,9 @@ loop; this module decides how each statement maps onto SIMD intrinsics:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
-from repro.ir.expr import (
-    BinaryOp,
-    Cast,
-    Expr,
-    Select,
-    TensorRef,
-    UnaryOp,
-    walk,
-)
+from repro.ir.expr import BinaryOp, Cast, Expr, Select, UnaryOp, walk
 from repro.ir.lower import PolyStatement
 
 UB_BLOCK_BYTES = 32

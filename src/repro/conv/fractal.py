@@ -14,10 +14,8 @@ blocks (16 x 16 x 16 for fp16 on DaVinci).  This module
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.conv.img2col import is_convolution_statement
-from repro.ir.expr import BinaryOp, TensorRef
 from repro.ir.lower import PolyStatement
 from repro.poly.affine import AffineExpr
 from repro.sched.tree import BandNode, LeafNode, MarkNode, ScheduleNode
@@ -170,7 +168,7 @@ def graft_fractal(
     the scheduled tree) and swaps in the external fragment, mirroring the
     pink region of Fig. 3(f).
     """
-    from repro.sched.tree import FilterNode, find_parent, replace_child
+    from repro.sched.tree import FilterNode
 
     target = None
     for node in tree.walk():

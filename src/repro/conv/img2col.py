@@ -18,7 +18,7 @@ side is handled polyhedrally; this module provides both:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 class Img2ColParams:

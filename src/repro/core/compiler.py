@@ -43,7 +43,7 @@ from repro.ir.tensor import Tensor
 from repro.sched.clustering import Clustering
 from repro.sched.deps import Dependence
 from repro.sched.scheduler import SchedulerOptions, check_legality
-from repro.sched.tree import BandNode, DomainNode, FilterNode
+from repro.sched.tree import BandNode, DomainNode
 from repro.storage.promote import StoragePlan, plan_storage
 from repro.tiling.auto import AutoTiler, LinearFootprintEvaluator
 from repro.tiling.spec import TilingPolicy, parse_tiling_policy
@@ -64,6 +64,7 @@ class AkgOptions:
         post_tiling_fusion: bool = True,
         emit_trace: bool = False,
         verify_schedule: bool = False,
+        verify: bool = False,
         scheduler: Optional[SchedulerOptions] = None,
         tile_shrink: int = 0,
         budget: Optional[StageBudget] = None,
@@ -79,6 +80,11 @@ class AkgOptions:
         self.post_tiling_fusion = post_tiling_fusion
         self.emit_trace = emit_trace
         self.verify_schedule = verify_schedule
+        # Run the independent static verifier (:mod:`repro.verify`) over
+        # the finished result; a rejection raises VerificationError and
+        # the result is never cached.  Excluded from cache fingerprints:
+        # verification never changes what a compile produces.
+        self.verify = verify
         self.scheduler = scheduler or SchedulerOptions()
         # Extra halvings applied after tile selection; used to model
         # unoptimised hand code that picks shape-oblivious small tiles.
@@ -212,14 +218,30 @@ def build(
             diskcache.note_shapeclass_probe(isinstance(cached, CompileResult))
         if isinstance(cached, CompileResult):
             cached.resilience = report
+            if options.verify and not getattr(cached, "verified_clean", False):
+                # Entry predates verification (or was stored unverified):
+                # verify now and refresh it so the next hit is free.
+                _verify_and_mark(cached)
+                diskcache.store(key, cached)
             return cached
         result = backend_build(frontend, options)
         result.resilience = report
+        if options.verify:
+            # Before the store: a rejected result must never be cached.
+            _verify_and_mark(result)
         # A degraded result is *not* stored: a later healthy run must
         # recompile first-choice, not inherit this run's fallbacks.
         if not report.degraded:
             diskcache.store(key, result)
         return result
+
+
+def _verify_and_mark(result: CompileResult) -> None:
+    """Run the static verifier; record a clean bill on the result."""
+    from repro.verify import verify_result
+
+    verify_result(result)
+    result.verified_clean = True
 
 
 def _program_cache_key(frontend: FrontEnd, options: AkgOptions) -> Optional[str]:

@@ -634,10 +634,13 @@ def options_fingerprint(options) -> str:
     generated program.  ``budget`` is excluded: resource limits bound
     *how long* compilation may take, never what a successful first-choice
     compilation produces (degraded results are not cached at all).
+    ``verify`` is excluded too: the static verifier checks a result
+    without changing it, so verified and unverified builds share one
+    entry (the clean bill rides on the entry as ``verified_clean``).
     """
     fields = {}
     for name, value in sorted(vars(options).items()):
-        if name in ("scheduler", "budget"):
+        if name in ("scheduler", "budget", "verify"):
             continue
         if name == "tile_policy" and value is not None:
             value = value.render()

@@ -38,6 +38,7 @@ __all__ = [
     "ExecutionFallbackError",
     "NetworkPlanError",
     "ServiceError",
+    "VerificationError",
     "EXIT_CODES",
     "exit_code_for",
     "error_classes",
@@ -178,6 +179,20 @@ class ServiceError(ReproError):
     action = "check the request payload and that akgd is running; see the daemon log"
 
 
+class VerificationError(ReproError):
+    """The static verifier (:mod:`repro.verify`) rejected a compiled
+    result: a dependence is not preserved by the final schedule, an array
+    access can fall outside its tensor's extents, a cross-pipe access
+    pair lacks a separating sync, or an arena slot aliases overlapping
+    live ranges.
+
+    Raised *instead of* returning the result — a rejected compile is
+    never disk-cached, served, or stitched into a network plan.
+    """
+
+    action = "the compiled artefact is unsafe; rerun with --dump-tree and file the kernel as a bug"
+
+
 #: CLI exit codes, one per class, documented in the README.  1 is left to
 #: argparse/unexpected errors; 2 is the generic typed failure.
 EXIT_CODES: Dict[Type[ReproError], int] = {
@@ -192,6 +207,7 @@ EXIT_CODES: Dict[Type[ReproError], int] = {
     ExecutionFallbackError: 10,
     NetworkPlanError: 11,
     ServiceError: 12,
+    VerificationError: 13,
 }
 
 
@@ -219,5 +235,6 @@ def error_classes() -> Dict[str, Type[ReproError]]:
             ExecutionFallbackError,
             NetworkPlanError,
             ServiceError,
+            VerificationError,
         )
     }

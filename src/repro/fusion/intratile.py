@@ -19,12 +19,12 @@ streams to the Unified Buffer for the Vector/Scalar units.  This pass
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.ir.expr import BinaryOp, TensorRef
 from repro.ir.lower import PolyStatement
 from repro.poly.affine import AffineExpr
-from repro.sched.tree import BandNode, DomainNode, FilterNode, MarkNode, ScheduleNode
+from repro.sched.tree import BandNode, DomainNode, FilterNode, MarkNode
 
 
 class UnitAssignment:

@@ -43,8 +43,6 @@ from repro.sched.tree import (
     MarkNode,
     ScheduleNode,
     SequenceNode,
-    find_parent,
-    replace_child,
 )
 from repro.tiling.reverse import liveout_instance_relation, producer_tile_relation
 from repro.tiling.tile import tile_band

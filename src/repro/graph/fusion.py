@@ -19,7 +19,7 @@ repeated layers (every network repeats shapes heavily) compile once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cce.expert import _rebuild_expr
 from repro.ir.tensor import ComputeOp, Tensor, placeholder

@@ -13,7 +13,7 @@ BERT comes in the paper's two vocabulary variants (21,128 and 30,522).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.graph.fusion import SubgraphSpec, extract_subgraph, fuse_graph
 from repro.ir import ops

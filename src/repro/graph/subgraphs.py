@@ -18,7 +18,7 @@ which phenomena they exercise:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.ir import ops
 from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis, te_sum

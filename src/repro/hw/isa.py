@@ -23,7 +23,7 @@ small loops and extrapolates a steady state for large ones.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 class Pipe(Enum):

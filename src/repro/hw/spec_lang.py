@@ -32,7 +32,7 @@ the paper, the automatic flow never requires it.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.hw.spec import HardwareSpec
 

@@ -20,14 +20,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.expr import (
     BinaryOp,
-    Cast,
     Expr,
-    FloatImm,
     IntImm,
     IterVar,
     Reduce,
-    Select,
-    TensorRef,
     UnaryOp,
     collect_reads,
 )

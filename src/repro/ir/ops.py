@@ -12,16 +12,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.ir.expr import (
-    BinaryOp,
-    Cast,
-    Expr,
-    FloatImm,
-    Select,
-    UnaryOp,
-    wrap,
-)
-from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis, te_max, te_sum
+from repro.ir.expr import BinaryOp, Cast, FloatImm, Select, UnaryOp, wrap
+from repro.ir.tensor import Tensor, compute, reduce_axis, te_max, te_sum
 
 
 # -- element-wise helpers --------------------------------------------------------

@@ -41,13 +41,13 @@ class SymDim:
 
     __slots__ = ("name", "max")
 
-    def __init__(self, name: str, max: int):
+    def __init__(self, name: str, max_value: int):
         if not name or not isinstance(name, str):
             raise ValueError(f"SymDim needs a non-empty string name, got {name!r}")
         self.name = name
-        self.max = int(max)
+        self.max = int(max_value)
         if self.max < 1:
-            raise ValueError(f"SymDim {name!r} needs max >= 1, got {max}")
+            raise ValueError(f"SymDim {name!r} needs max >= 1, got {max_value}")
 
     def __eq__(self, other) -> bool:
         return (

@@ -12,7 +12,7 @@ polyhedral layer normalises constraints to integer coefficients.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from typing import Dict, Mapping, Tuple, Union
 
 Number = Union[int, Fraction]
 Coeffs = Dict[str, Fraction]

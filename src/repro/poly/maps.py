@@ -11,7 +11,7 @@ the tile-to-producer relations of AKG's reverse tiling strategy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.poly.affine import AffineExpr, Constraint
 from repro.poly.fm import project_onto, remove_redundant

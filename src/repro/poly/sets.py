@@ -10,8 +10,7 @@ the same space.  The vocabulary follows isl: ``intersect``, ``union``,
 from __future__ import annotations
 
 import itertools
-from fractions import Fraction
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.poly.affine import AffineExpr, Constraint
 from repro.poly.fm import project_onto, remove_redundant

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 import numpy as np

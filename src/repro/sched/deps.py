@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ir.lower import LoweredKernel, PolyStatement, TensorAccess
 from repro.poly.affine import AffineExpr, Constraint
 from repro.poly.maps import BasicMap
-from repro.poly.sets import BasicSet, Space
+from repro.poly.sets import Space
 
 
 class Dependence:

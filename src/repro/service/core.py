@@ -149,6 +149,11 @@ class ServiceRequest:
             ]
         except diskcache.FingerprintError:
             return None
+        if getattr(options, "verify", False):
+            # ``verify`` is excluded from the options fingerprint (it does
+            # not change the artefact), but a verify ticket must not be
+            # answered by a coalesced unverified build.
+            parts.append("verify")
         if self.kind == "tune":
             merged = dict(DEFAULT_TUNE_PARAMS)
             merged.update(self.tune_params or {})

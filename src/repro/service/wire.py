@@ -10,8 +10,8 @@ Request schema (``kind`` defaults to ``compile``)::
     {"kind": "compile", "op": "matmul", "shape": [64, 64, 64],
      "dtype": "fp16", "name": "...",
      "options": {"tile_policy": ..., "sync_policy": "dp",
-                 "no_fusion": false, "stage_timeout": 30.0,
-                 "solver_budget": 50000},
+                 "no_fusion": false, "verify": false,
+                 "stage_timeout": 30.0, "solver_budget": 50000},
      "fault_spec": "storage.promote:error"}          # chaos only
     {"kind": "tune", "op": ..., "shape": ...,
      "tune": {"first_round": 6, "round_size": 3, "max_rounds": 2,
@@ -131,6 +131,7 @@ def _options_from_json(payload: Optional[Dict[str, Any]]):
             sync_policy=payload.get("sync_policy", "dp"),
             post_tiling_fusion=not payload.get("no_fusion", False),
             emit_trace=bool(payload.get("emit_trace", False)),
+            verify=bool(payload.get("verify", False)),
             budget=budget,
         )
     except (ValueError, TypeError) as exc:
@@ -220,6 +221,8 @@ def result_to_json(result: ServiceResult) -> Dict[str, Any]:
             out["program_sha256"] = hashlib.sha256(dump.encode()).hexdigest()
             out["tile_sizes"] = list(compiled.tile_sizes)
             out["degraded"] = bool(compiled.resilience.degraded)
+            if getattr(compiled, "verified_clean", False):
+                out["verified"] = True
     if result.kind == "compile":
         out["cycles"] = value.get("cycles")
         out["dma_bytes"] = value.get("dma_bytes")

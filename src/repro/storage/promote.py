@@ -27,9 +27,6 @@ from repro.fusion.intratile import UnitAssignment
 from repro.fusion.posttile import TiledGroup
 from repro.hw.spec import HardwareSpec
 from repro.ir.lower import LoweredKernel, PolyStatement, TensorAccess
-from repro.poly.affine import AffineExpr, Constraint
-from repro.poly.ilp import IlpProblem, IlpStatus
-from repro.poly.maps import BasicMap
 
 
 class BufferAllocation:

@@ -17,7 +17,7 @@ evaluators to probe the search behaviour.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import resilience
 from repro.core.errors import TilingError

@@ -21,7 +21,7 @@ from repro.ir.lower import PolyStatement
 from repro.poly.affine import AffineExpr, Constraint
 from repro.poly.fm import project_onto, remove_redundant
 from repro.poly.maps import BasicMap
-from repro.poly.sets import BasicSet, Space
+from repro.poly.sets import Space
 from repro.sched.deps import Dependence
 
 

@@ -23,7 +23,7 @@ policies raise :class:`TilingSpecError` with a line/column diagnostic.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 VALID_BUFFERS = ("GM", "L1", "UB", "L0A", "L0B", "L0C")
 

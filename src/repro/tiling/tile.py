@@ -14,9 +14,8 @@ representation directly (see :mod:`repro.sched.scheduler`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.poly.affine import AffineExpr
 from repro.sched.tree import BandNode
 
 

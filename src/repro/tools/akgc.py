@@ -93,6 +93,10 @@ def _run_network(args) -> int:
         return 2
     try:
         compiled = compile_network(model)
+        if args.verify:
+            from repro.verify import verify_network_plan
+
+            verify_network_plan(compiled.plan)
     except ReproError as exc:
         print(f"akgc: {type(exc).__name__}: {exc}", file=sys.stderr)
         print(f"akgc: {exc.action}", file=sys.stderr)
@@ -107,6 +111,9 @@ def _run_network(args) -> int:
           f"({compiled.dedup_reuses} deduplicated)")
     print(f"compile       : {compiled.compile_seconds:.2f}s")
     print(f"degraded      : {'yes' if plan.degraded else 'no'}")
+    if args.verify:
+        print(f"verified      : arena + {plan.unique_subgraphs()} subgraphs "
+              f"(schedule, bounds, sync)")
 
     print("\n=== unique subgraphs ===")
     header = f"{'subgraph':<16}{'mult':>6}{'cycles':>12}{'total':>12}"
@@ -176,6 +183,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="NODES",
                         help="ILP branch-and-bound node budget per solve; "
                              "exhausted -> exit code 3 (SolverBudgetError)")
+    parser.add_argument("--verify", action="store_true",
+                        help="statically verify the compiled result "
+                             "(dependences, bounds, syncs; with --network "
+                             "also the arena plan); a rejection exits "
+                             "with code 13 (VerificationError)")
     parser.add_argument("--resilience-stats", action="store_true",
                         help="print the degradation ladder report (which "
                              "fallback rungs fired, if any) after the build")
@@ -227,6 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tile_policy=args.tile_policy,
         post_tiling_fusion=not args.no_fusion,
         sync_policy=args.sync,
+        verify=args.verify,
         budget=budget,
     )
     try:
@@ -244,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({'shape-generic' if generic else 'concretized at max'})")
     print(f"tile sizes    : {result.tile_sizes}")
     print(f"tile nests    : {len(result.groups)}")
+    if args.verify:
+        print("verified      : schedule, bounds, sync (static)")
     print(f"cycles        : {report.total_cycles}")
     print(f"DMA bytes     : {report.dma_bytes}")
     print(f"syncs         : {report.sync_count}")

@@ -437,6 +437,8 @@ CHAOS_SCENARIOS: Tuple[str, ...] = (
     "storage.promote:error",
     "diskcache.read:corrupt",
     "exec.vectorized:error",
+    "verify.schedule:error",
+    "verify.sync:error",
 )
 
 
@@ -485,9 +487,13 @@ def _chaos_cell(
     from repro.tools import faultinject
 
     # A generous deadline exists so ``delay`` faults (which backdate it)
-    # have something to trip; healthy stages never come near it.
+    # have something to trip; healthy stages never come near it.  The
+    # ``verify.*`` fault sites only fire inside the static verifier, so
+    # those scenarios compile with verification enabled.
     options = AkgOptions(
-        emit_trace=True, budget=StageBudget(stage_seconds=120.0)
+        emit_trace=True,
+        verify=spec.startswith("verify."),
+        budget=StageBudget(stage_seconds=120.0),
     )
     cell: Dict[str, object] = {"outcome": "?", "degraded": False, "events": 0}
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cdir:
@@ -523,6 +529,50 @@ def _chaos_cell(
     return cell
 
 
+def _mutation_chaos_cell(
+    builder: Callable[[], object], name: str
+) -> Dict[str, object]:
+    """A *really* corrupted schedule must end in VerificationError.
+
+    Unlike the fault-injection scenarios (which raise at a marked site),
+    this cell miscompiles for real: it seeds every applicable schedule
+    mutation (dropped sync, swapped statement order, off-by-one tile
+    box) into a clean build and demands the static verifier reject each
+    one — a corrupted schedule must never replay into a wrong answer.
+    """
+    from repro.core.compiler import AkgOptions, build
+    from repro.core.errors import VerificationError
+    from repro.verify import verify_result
+    from repro.verify.mutate import seeded_mutations
+
+    cell: Dict[str, object] = {"outcome": "?", "mutants": 0, "killed": 0}
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        try:
+            result = build(builder(), name, options=AkgOptions())
+            mutants = seeded_mutations(result)
+            killed = 0
+            for _mname, mutant in mutants:
+                try:
+                    verify_result(mutant)
+                except VerificationError:
+                    killed += 1
+            cell["mutants"] = len(mutants)
+            cell["killed"] = killed
+            if mutants and killed == len(mutants):
+                cell["outcome"] = "typed:VerificationError"
+            else:
+                cell["outcome"] = "SURVIVED"
+        except Exception as exc:  # noqa: BLE001 - the chaos verdict
+            cell["outcome"] = f"UNTYPED:{type(exc).__name__}"
+        finally:
+            diskcache.set_cache_dir(None)
+    cell["seconds"] = time.perf_counter() - t0
+    cell["acceptable"] = cell["outcome"] == "typed:VerificationError"
+    return cell
+
+
 def run_chaos_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     """The full scenario x kernel sweep; ``all_acceptable`` is the verdict."""
     kernels = _chaos_kernels(quick)
@@ -545,6 +595,13 @@ def run_chaos_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
             row[kname] = cell
             all_ok = all_ok and cell["acceptable"]
         results[spec] = row
+
+    row = {}
+    for kname, builder in kernels.items():
+        cell = _mutation_chaos_cell(builder, f"chaos_{kname}")
+        row[kname] = cell
+        all_ok = all_ok and cell["acceptable"]
+    results["verify.mutate:schedule"] = row
 
     if not quick:
         for spec in NETWORK_CHAOS_SCENARIOS:
@@ -761,6 +818,101 @@ def _format_chaos_table(report: Dict[str, object]) -> str:
         lines.append(f"{spec:<36}" + "".join(cells))
     verdict = "PASS" if report["all_acceptable"] else "FAIL"
     lines.append(f"chaos verdict: {verdict} (every cell must be ok/typed:*)")
+    return "\n".join(lines)
+
+
+# -- the static-verifier benchmark --------------------------------------------
+#
+# Two numbers matter for an opt-in verification pass: what it *costs*
+# (verifier wall time relative to the compile it checks) and what it
+# *catches* (the seeded-mutation kill rate).  The suite compiles every
+# Fig. 9 catalog kernel with the disk cache off, times the four checkers
+# on the clean result, then runs every applicable schedule mutation
+# through the verifier and counts rejections.  ``all_ok`` demands a
+# clean catalog and a 100% kill rate.
+
+
+def run_verify_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Verifier overhead + mutation kill rate; ``all_ok`` is the verdict."""
+    from repro.core.compiler import AkgOptions, build
+    from repro.core.errors import VerificationError
+    from repro.verify import verify_result
+    from repro.verify.mutate import seeded_mutations
+
+    rows: Dict[str, Dict[str, object]] = {}
+    clean = True
+    mutants_total = mutants_killed = 0
+    with diskcache.disabled():
+        for name, builder in _kernels(quick).items():
+            t0 = time.perf_counter()
+            result = build(builder(), f"verify_{name}", options=AkgOptions())
+            t1 = time.perf_counter()
+            try:
+                verify_result(result)
+                verified = True
+            except VerificationError as exc:
+                verified = False
+                clean = False
+                rows[name] = {"verified_clean": False, "error": str(exc)}
+            t2 = time.perf_counter()
+            if not verified:
+                continue
+            killed = 0
+            mutants = seeded_mutations(result)
+            for _mname, mutant in mutants:
+                try:
+                    verify_result(mutant)
+                except VerificationError:
+                    killed += 1
+            mutants_total += len(mutants)
+            mutants_killed += killed
+            compile_s, verify_s = t1 - t0, t2 - t1
+            rows[name] = {
+                "verified_clean": True,
+                "compile_seconds": round(compile_s, 4),
+                "verify_seconds": round(verify_s, 4),
+                "overhead_ratio": round(verify_s / compile_s, 4)
+                if compile_s > 0
+                else None,
+                "mutants": len(mutants),
+                "killed": killed,
+            }
+    kill_rate = mutants_killed / mutants_total if mutants_total else 0.0
+    return {
+        **_bench_envelope("verify"),
+        "config": {"quick": quick, "seed": seed},
+        "kernels": rows,
+        "mutants_total": mutants_total,
+        "mutants_killed": mutants_killed,
+        "kill_rate": round(kill_rate, 4),
+        "all_ok": clean and mutants_total > 0 and kill_rate == 1.0,
+    }
+
+
+def _format_verify_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'kernel':<14}{'compile s':>11}{'verify s':>11}"
+        f"{'overhead':>10}{'mutants':>9}{'killed':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["kernels"].items():
+        if not row.get("verified_clean"):
+            lines.append(f"{name:<14}{'REJECTED: ' + str(row.get('error'))}")
+            continue
+        lines.append(
+            f"{name:<14}{row['compile_seconds']:>11.3f}"
+            f"{row['verify_seconds']:>11.3f}"
+            f"{row['overhead_ratio']:>9.1%}"
+            f"{row['mutants']:>9}{row['killed']:>8}"
+        )
+    lines.append(
+        f"kill rate: {report['kill_rate']:.0%} "
+        f"({report['mutants_killed']}/{report['mutants_total']})"
+    )
+    verdict = "PASS" if report["all_ok"] else "FAIL"
+    lines.append(
+        f"verify verdict: {verdict} (clean catalog + 100% mutation kills)"
+    )
     return "\n".join(lines)
 
 
@@ -1680,12 +1832,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "the scalar oracle)",
     )
     parser.add_argument(
+        "--verify", action="store_true",
+        help="run the static-verifier benchmark instead (exit 1 unless "
+             "every catalog kernel verifies clean and every seeded "
+             "schedule mutation is rejected)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="output JSON path (default BENCH_pipeline.json; "
              "BENCH_diskcache.json with --diskcache, BENCH_exec.json "
              "with --exec, BENCH_chaos.json with --chaos, "
              "BENCH_network.json with --network, BENCH_serve.json "
-             "with --serve, BENCH_shapes.json with --shapes)",
+             "with --serve, BENCH_shapes.json with --shapes, "
+             "BENCH_verify.json with --verify)",
     )
     args = parser.parse_args(argv)
     if args.out is None:
@@ -1701,8 +1860,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out = "BENCH_serve.json"
         elif args.shapes:
             args.out = "BENCH_shapes.json"
+        elif args.verify:
+            args.out = "BENCH_verify.json"
         else:
             args.out = "BENCH_pipeline.json"
+
+    if args.verify:
+        report = run_verify_suite(quick=args.quick, seed=args.seed)
+        print(_format_verify_table(report))
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+        return 0 if report["all_ok"] else 1
 
     if args.shapes:
         report = run_shapes_suite(quick=args.quick, seed=args.seed)

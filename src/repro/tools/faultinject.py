@@ -11,7 +11,8 @@ A spec is a comma-separated list of directives::
 
 - ``site``   one of :data:`SITES` (``ilp.solve``, ``fm.eliminate``,
   ``sched.pluto_row``, ``tiling.auto_search``, ``fusion.posttile``,
-  ``diskcache.read``, ``exec.vectorized``, ``autotune.worker``);
+  ``diskcache.read``, ``exec.vectorized``, ``autotune.worker``,
+  ``verify.schedule``, ``verify.sync``);
 - ``mode``   ``error`` (raise the site's typed error), ``delay``
   (backdate the innermost stage deadline so the next cooperative
   :func:`~repro.core.resilience.check_deadline` raises
@@ -57,6 +58,7 @@ from repro.core.errors import (
     SchedulingError,
     SolverBudgetError,
     TilingError,
+    VerificationError,
 )
 
 __all__ = ["SITES", "fire", "directive", "inject", "set_spec", "current_spec"]
@@ -72,6 +74,8 @@ SITES: Dict[str, Type[ReproError]] = {
     "diskcache.read": CacheCorruptionError,
     "exec.vectorized": ExecutionFallbackError,
     "autotune.worker": ReproError,
+    "verify.schedule": VerificationError,
+    "verify.sync": VerificationError,
 }
 
 _MODES = ("error", "delay", "corrupt", "truncate", "crash")

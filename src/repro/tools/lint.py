@@ -1,0 +1,215 @@
+"""A dependency-free linter for the checks this repo actually gates on.
+
+``scripts/check.sh`` runs `ruff` when one is on the PATH; this module is
+the fallback so the lint gate never silently disappears on machines
+without it.  It implements the small rule set the gate relies on, with
+ruff-compatible codes:
+
+- **F401** — imported name never used.  Usage is counted by word
+  occurrence outside the import's own line, so names referenced only in
+  string annotations (``from __future__ import annotations`` files,
+  ``TYPE_CHECKING`` imports) are correctly treated as used; the rule
+  errs toward silence, never toward a false report.
+- **F541** — f-string without any placeholder (a plain string that
+  pretends to interpolate).
+- **A001** — module/class/function binding that shadows a builtin.
+- **A002** — function argument that shadows a builtin.
+
+Usage::
+
+    python -m repro.tools.lint src tests     # exit 1 on any finding
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+__all__ = ["lint_file", "lint_paths", "main"]
+
+Finding = Tuple[str, int, int, str, str]  # path, line, col, code, message
+
+#: Builtin names whose shadowing A001/A002 reports.  Dunders and the
+#: capitalised singletons/exceptions are excluded — ``True`` or
+#: ``ValueError`` cannot be rebound accidentally the way ``list`` can.
+_BUILTINS = frozenset(
+    name
+    for name in dir(builtins)
+    if not name.startswith("_") and name[0].islower()
+)
+
+
+def _iter_imports(tree: ast.Module) -> Iterable[Tuple[ast.AST, str, str]]:
+    """Yield ``(node, bound_name, described_target)`` per import binding."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                yield node, bound, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue  # compiler directives, not bindings
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                yield node, bound, f"{node.module or ''}.{alias.name}"
+
+
+def _check_unused_imports(
+    path: str, tree: ast.Module, source: str
+) -> List[Finding]:
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    for node, bound, target in _iter_imports(tree):
+        if bound == "_" or bound.startswith("__"):
+            continue
+        span = set(range(node.lineno, (node.end_lineno or node.lineno) + 1))
+        pattern = re.compile(rf"\b{re.escape(bound)}\b")
+        used = any(
+            pattern.search(text)
+            for i, text in enumerate(lines, start=1)
+            if i not in span
+        )
+        if not used:
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "F401",
+                    f"{target!r} imported but unused",
+                )
+            )
+    return findings
+
+
+def _check_fstrings(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    # Format specs parse as nested JoinedStr nodes (``{x:>8}`` holds a
+    # JoinedStr('>8')); those are not f-strings the author wrote.
+    spec_ids = {
+        id(node.format_spec)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FormattedValue)
+        and node.format_spec is not None
+    }
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.JoinedStr)
+            and id(node) not in spec_ids
+            and not any(
+                isinstance(part, ast.FormattedValue) for part in node.values
+            )
+        ):
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "F541",
+                    "f-string without any placeholders",
+                )
+            )
+    return findings
+
+
+def _check_shadowed_builtins(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def shadow(name: str, node: ast.AST, code: str, what: str) -> None:
+        if name in _BUILTINS:
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    code,
+                    f"{what} {name!r} shadows a builtin",
+                )
+            )
+
+    # Methods and class attributes shadow builtins as *attributes* (ruff
+    # A003, conventionally off); only flag names bound in non-class scope.
+    method_ids = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    method_ids.add(id(child))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if id(node) not in method_ids:
+                shadow(node.name, node, "A001", "function name")
+            args = node.args
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+            ):
+                shadow(arg.arg, arg, "A002", "argument")
+            for arg in (args.vararg, args.kwarg):
+                if arg is not None:
+                    shadow(arg.arg, arg, "A002", "argument")
+        elif isinstance(node, ast.ClassDef):
+            shadow(node.name, node, "A001", "class name")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name) and isinstance(
+                        leaf.ctx, ast.Store
+                    ):
+                        shadow(leaf.id, leaf, "A001", "assignment to")
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                shadow(node.target.id, node.target, "A001", "assignment to")
+    return findings
+
+
+def lint_file(path: Path) -> List[Finding]:
+    """All findings for one Python source file."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(str(path), exc.lineno or 0, 0, "E999", f"syntax error: {exc.msg}")]
+    name = str(path)
+    return (
+        _check_unused_imports(name, tree, source)
+        + _check_fstrings(name, tree)
+        + _check_shadowed_builtins(name, tree)
+    )
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Findings across files and directories (``.py``, sorted order)."""
+    findings: List[Finding] = []
+    for raw in paths:
+        root = Path(raw)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            findings.extend(lint_file(f))
+    return findings
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.tools.lint PATH [PATH ...]", file=sys.stderr)
+        return 2
+    findings = lint_paths(argv)
+    for path, line, col, code, message in findings:
+        print(f"{path}:{line}:{col}: {code} {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ differences from AKG:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.codegen.program import CodegenOptions, ProgramBuilder
 from repro.fusion.intratile import assign_compute_units
@@ -30,11 +30,7 @@ from repro.hw.simulator import SimReport, Simulator
 from repro.hw.spec import HardwareSpec
 from repro.ir.lower import LoweredKernel, lower
 from repro.ir.tensor import Tensor
-from repro.sched.clustering import (
-    Clustering,
-    classify_dependence,
-    conservative_clustering,
-)
+from repro.sched.clustering import Clustering, conservative_clustering
 from repro.sched.deps import compute_dependences
 from repro.sched.scheduler import PolyScheduler
 from repro.storage.promote import StoragePlan, plan_storage

@@ -15,7 +15,7 @@ kernels, and the AKG DSL is shorter still).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List
 
 from repro.fusion.intratile import is_cube_statement
 from repro.hw.spec import HardwareSpec

@@ -1,0 +1,121 @@
+"""Arena-aliasing checker: slot sharing must respect liveness.
+
+:func:`repro.graph.plan.plan_arena` assigns produced tensors to reusable
+arena slots.  This checker **re-derives** the live interval of every
+tensor from the step schedule alone — produced at its producing step,
+dead after its last consumer, never-read outputs dying with their
+producer — and rejects:
+
+- two tensors sharing a slot whose derived live ranges overlap
+  (inclusive interval intersection: a step that writes an output while
+  still reading a dying input counts as overlap, matching the planner's
+  outputs-never-alias-dying-inputs rule);
+- a slot smaller than a tensor assigned to it;
+- a recorded interval that disagrees with the derived liveness;
+- a ``keep`` (network output) tensor placed in a recycled slot.
+
+The functions take the raw ``(input_keys, output_keys)`` schedule so
+tests can use the checker as an oracle against ``plan_arena`` on
+adversarial liveness graphs without compiling anything.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core import resilience
+from repro.core.errors import VerificationError
+
+if TYPE_CHECKING:
+    from repro.graph.plan import ArenaPlan, NetworkPlan
+
+__all__ = ["check_arena", "check_arena_assignment"]
+
+
+def _fail(message: str) -> None:
+    raise VerificationError(message, stage=resilience.active_stage())
+
+
+def _derive_intervals(
+    tensors: Mapping[str, int],
+    steps: Sequence[Tuple[Sequence[str], Sequence[str]]],
+) -> Dict[str, Tuple[int, int]]:
+    """Independent liveness: (produce step, last use step) per tensor."""
+    produced_at: Dict[str, int] = {}
+    last_use: Dict[str, int] = {}
+    for i, (in_keys, out_keys) in enumerate(steps):
+        for k in out_keys:
+            if k in produced_at:
+                _fail(f"tensor {k!r} produced twice (steps {produced_at[k]} and {i})")
+            produced_at[k] = i
+            last_use[k] = i
+        for k in in_keys:
+            if k in tensors:
+                if k not in produced_at:
+                    _fail(f"step {i} reads {k!r} before it is produced")
+                last_use[k] = i
+    return {k: (produced_at[k], last_use[k]) for k in produced_at}
+
+
+def check_arena_assignment(
+    tensors: Mapping[str, int],
+    steps: Sequence[Tuple[Sequence[str], Sequence[str]]],
+    arena: "ArenaPlan",
+    keep: Optional[Set[str]] = None,
+) -> Dict[str, Tuple[int, int]]:
+    """Verify one arena plan against independently derived liveness.
+
+    Raises :class:`~repro.core.errors.VerificationError` on any aliasing
+    violation; returns the derived intervals (handy for tests).
+    """
+    keep = keep or set()
+    derived = _derive_intervals(tensors, steps)
+
+    for k in derived:
+        if k in keep:
+            if k in arena.slot_of:
+                _fail(f"kept tensor {k!r} was placed in recycled slot {arena.slot_of[k]}")
+            continue
+        if k not in arena.slot_of:
+            _fail(f"tensor {k!r} has no arena slot and is not dedicated")
+        recorded = arena.intervals.get(k)
+        if recorded is not None and tuple(recorded) != derived[k]:
+            _fail(
+                f"tensor {k!r}: recorded live interval {recorded} "
+                f"disagrees with derived {derived[k]}"
+            )
+        slot = arena.slot_of[k]
+        if slot < 0 or slot >= len(arena.slot_bytes):
+            _fail(f"tensor {k!r} assigned to nonexistent slot {slot}")
+        if arena.slot_bytes[slot] < int(tensors[k]):
+            _fail(
+                f"tensor {k!r} ({int(tensors[k])} bytes) does not fit "
+                f"slot {slot} ({arena.slot_bytes[slot]} bytes)"
+            )
+
+    by_slot: Dict[int, List[str]] = {}
+    for k, slot in arena.slot_of.items():
+        by_slot.setdefault(slot, []).append(k)
+    for slot, keys in by_slot.items():
+        keys.sort(key=lambda k: derived.get(k, (0, 0)))
+        for a in range(len(keys)):
+            for b in range(a + 1, len(keys)):
+                ka, kb = keys[a], keys[b]
+                ia, ib = derived.get(ka), derived.get(kb)
+                if ia is None or ib is None:
+                    continue
+                if ia[0] <= ib[1] and ib[0] <= ia[1]:
+                    _fail(
+                        f"arena slot {slot} aliases {ka!r} (live "
+                        f"{ia}) with {kb!r} (live {ib}): intervals "
+                        f"overlap"
+                    )
+    return derived
+
+
+def check_arena(plan: "NetworkPlan") -> None:
+    """Verify a network plan's arena assignment."""
+    tensors = {k: info.nbytes for k, info in plan.tensors.items()}
+    steps = [(s.input_keys, s.output_keys) for s in plan.steps]
+    keep = {key for _name, key in plan.outputs}
+    check_arena_assignment(tensors, steps, plan.arena, keep)

@@ -1,0 +1,221 @@
+"""Static bounds checker: every access of every tile stays in extents.
+
+For each statement of each tiled group the instance relation (tile
+indices -> statement instances) is intersected with the statement's
+access relations (instances -> tensor elements) and the tile grid
+(``0 <= o_d <= count_d - 1``).  Fourier-Motzkin projection onto each
+tensor coordinate then yields the interval of indices *any* tile can
+touch; the program is in bounds exactly when every interval fits inside
+``[0, extent - 1]``.  FM is exact over the rationals and a superset
+over the integers, so the proof errs on the conservative side; the
+rational endpoints are rounded inward (``ceil``/``floor``) before
+comparison because accessed indices are integral.
+
+Padding reads are ``Select``-guarded in the statement expression (the
+runtime evaluates the guard first and never touches memory outside it,
+and img2col pads in flight), so the checker re-parses each read's
+enclosing guard conditions into affine constraints and proves bounds
+only over the guarded index set.  A guard that fails to parse adds no
+constraints — erring toward rejection, never acceptance.
+
+Clamped symbolic-dim replays (DESIGN §3.7) only shrink the instance
+boxes, so the concrete proof at the declared maximum covers every
+binding of the batch dim; the symbolic axes are additionally checked
+parametrically — the index along a symbolic tensor axis must stay below
+the free bound parameter itself, for every value in ``[1, max]``.
+"""
+
+from __future__ import annotations
+
+from math import ceil, floor
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core import resilience
+from repro.core.errors import VerificationError
+from repro.ir.expr import BinaryOp, Expr, IntImm, IterVar, Select, TensorRef
+from repro.poly.affine import AffineExpr, Constraint
+from repro.poly.fm import interval_of
+
+if TYPE_CHECKING:
+    from repro.core.compiler import CompileResult
+    from repro.ir.lower import PolyStatement
+
+__all__ = ["check_bounds"]
+
+
+def _fail(message: str) -> None:
+    raise VerificationError(message, stage=resilience.active_stage())
+
+
+def _affine_of(e: Expr, names: Dict[int, str]) -> Optional[AffineExpr]:
+    """Parse an index/guard expression into an AffineExpr, or ``None``."""
+    if isinstance(e, IntImm):
+        return AffineExpr.constant(e.value)
+    if isinstance(e, IterVar):
+        name = names.get(id(e))
+        return AffineExpr.variable(name) if name is not None else None
+    if isinstance(e, BinaryOp):
+        a = _affine_of(e.a, names)
+        b = _affine_of(e.b, names)
+        if a is None or b is None:
+            return None
+        if e.op == "add":
+            return a + b
+        if e.op == "sub":
+            return a - b
+        if e.op == "mul":
+            if a.is_constant():
+                return b * a.const
+            if b.is_constant():
+                return a * b.const
+    return None
+
+
+def _cond_constraints(
+    e: Expr, names: Dict[int, str]
+) -> Optional[List[Constraint]]:
+    """Affine conjunction of one ``Select`` guard, or ``None``."""
+    if isinstance(e, BinaryOp):
+        if e.op == "and":
+            a = _cond_constraints(e.a, names)
+            b = _cond_constraints(e.b, names)
+            return None if a is None or b is None else a + b
+        if e.op in ("ge", "gt", "le", "lt", "eq"):
+            a = _affine_of(e.a, names)
+            b = _affine_of(e.b, names)
+            if a is None or b is None:
+                return None
+            if e.op == "ge":
+                return [Constraint.ge(a - b)]
+            if e.op == "gt":
+                return [Constraint.ge(a - b - 1)]
+            if e.op == "le":
+                return [Constraint.ge(b - a)]
+            if e.op == "lt":
+                return [Constraint.ge(b - a - 1)]
+            return [Constraint.eq(a - b)]
+    return None
+
+
+def _guards_by_read(stmt: "PolyStatement") -> List[List[Constraint]]:
+    """Guard constraints per ``stmt.reads`` entry (empty = unguarded).
+
+    Mirrors :func:`repro.ir.expr.walk` pre-order so the n-th ``TensorRef``
+    of the expression lines up with the n-th extracted read (reduce
+    statements carry one extra leading self-accumulation read, hence the
+    offset).  Reads reached through a ``Select``'s taken branch inherit
+    the parsed guard; the else branch and unparseable guards inherit
+    nothing — never an unsound extra constraint.
+    """
+    refs: List[tuple] = []
+
+    def visit(e: Expr, guards: List[Constraint]) -> None:
+        if isinstance(e, TensorRef):
+            refs.append((e, guards))
+            for child in e.children():
+                visit(child, guards)
+            return
+        if isinstance(e, Select):
+            visit(e.cond, guards)
+            cond = _cond_constraints(e.cond, stmt.var_names)
+            visit(e.if_true, guards + cond if cond is not None else guards)
+            visit(e.if_false, guards)
+            return
+        for child in e.children():
+            visit(child, guards)
+
+    visit(stmt.expr, [])
+    out: List[List[Constraint]] = [[] for _ in stmt.reads]
+    offset = len(stmt.reads) - len(refs)
+    if offset < 0:
+        return out  # alignment unknown: treat every read as unguarded
+    for k, (_ref, guards) in enumerate(refs):
+        out[offset + k] = guards
+    return out
+
+
+def check_bounds(result: "CompileResult") -> None:
+    """Prove every array access lies within its tensor's extents.
+
+    Raises :class:`~repro.core.errors.VerificationError` on the first
+    access that can leave its tensor (or that the relation fails to
+    bound at all — an unbounded projection is equally a rejection).
+    """
+    sym_dims = getattr(result.kernel, "sym_dims", {})
+    for gi, group in enumerate(result.groups):
+        grid: List[Constraint] = []
+        for d, count in zip(group.tile_dims, group.tile_counts):
+            v = AffineExpr.variable(d)
+            grid.append(Constraint.ge(v, 0))
+            grid.append(Constraint.le(v, count - 1))
+        for stmt in group.statements:
+            rel = group.instance_relations[stmt.stmt_id]
+            base = list(rel.constraints) + grid
+            read_guards = _guards_by_read(stmt)
+            for ai, acc in enumerate([stmt.write] + list(stmt.reads)):
+                amap = acc.as_map(stmt.space)
+                cons = base + list(amap.constraints)
+                if ai > 0:
+                    cons = cons + read_guards[ai - 1]
+                where = (
+                    f"group {gi}, {stmt.stmt_id} access to "
+                    f"{acc.tensor.name}"
+                )
+                for k, dim in enumerate(amap.out_space.dims):
+                    extent = acc.tensor.shape[k]
+                    interval = interval_of(cons, dim)
+                    if interval is None:
+                        continue  # access set empty for every tile
+                    lo, hi = interval
+                    if lo is None or ceil(lo) < 0:
+                        _fail(
+                            f"{where}: axis {k} can reach index "
+                            f"{'-inf' if lo is None else ceil(lo)} "
+                            f"below 0"
+                        )
+                    if hi is None or floor(hi) > extent - 1:
+                        _fail(
+                            f"{where}: axis {k} can reach index "
+                            f"{'+inf' if hi is None else floor(hi)} "
+                            f"past extent {extent}"
+                        )
+                # Parametric pass over the symbolic axes: the access
+                # index must stay below the bound parameter itself.
+                sym_axes = getattr(acc.tensor, "sym_axes", {})
+                if not sym_axes or acc.indices is None:
+                    continue
+                pcons = list(cons)
+                for n in stmt.iter_names:
+                    sym = stmt.sym_extents.get(n)
+                    if sym is not None:
+                        pcons.append(
+                            Constraint.le(
+                                AffineExpr.variable(n),
+                                AffineExpr.variable(f"__sym_{sym}") - 1,
+                            )
+                        )
+                for sym, bound in sym_dims.items():
+                    param = AffineExpr.variable(f"__sym_{sym}")
+                    pcons.append(Constraint.ge(param, 1))
+                    pcons.append(Constraint.le(param, bound))
+                for axis, symdim in sym_axes.items():
+                    dim = amap.out_space.dims[axis]
+                    probe = list(pcons)
+                    probe.append(
+                        Constraint.eq(
+                            AffineExpr.variable("__vb__"),
+                            AffineExpr.variable(dim)
+                            - AffineExpr.variable(f"__sym_{symdim.name}"),
+                        )
+                    )
+                    interval = interval_of(probe, "__vb__")
+                    if interval is None:
+                        continue
+                    _, hi = interval
+                    if hi is None or floor(hi) > -1:
+                        _fail(
+                            f"{where}: symbolic axis {axis} "
+                            f"({symdim.name!r}) can reach the bound at a "
+                            f"clamped replay (slack "
+                            f"{'+inf' if hi is None else floor(hi)})"
+                        )

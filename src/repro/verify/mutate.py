@@ -1,0 +1,171 @@
+"""Schedule-mutation harness: prove the verifier has teeth.
+
+A checker that accepts everything is worse than no checker.  This module
+seeds the four canonical miscompilations — a dropped sync, a swapped
+statement/band order, an off-by-one tile box, an aliased arena slot —
+into an otherwise-correct :class:`~repro.core.compiler.CompileResult`
+(or :class:`~repro.graph.plan.NetworkPlan`) and hands the mutants back
+so tests and ``bench --verify`` can demand a 100% kill rate from
+:func:`repro.verify.verify_result`.
+
+Every mutation deep-copies its input (the original result is never
+harmed) and returns ``None`` when the kernel offers no applicable site
+(e.g. a single-statement kernel has no statement order to swap); kill
+rates are measured over applicable mutants.  Redundant-sync drops that
+leave the happens-before relation intact are *equivalent mutants* in
+mutation-testing terms — behaviourally identical programs — so
+:func:`drop_sync` walks the sync instructions in stream order and seeds
+the first one whose removal actually breaks an ordering the machine
+model relies on.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import VerificationError
+from repro.hw.isa import Barrier, Instr, Loop, SetFlag, WaitFlag
+from repro.poly.affine import Constraint
+from repro.poly.maps import BasicMap
+from repro.verify.syncs import check_program_sync
+
+if TYPE_CHECKING:
+    from repro.core.compiler import CompileResult
+    from repro.graph.plan import NetworkPlan
+
+__all__ = [
+    "KERNEL_MUTATIONS",
+    "drop_sync",
+    "swap_stmts",
+    "tile_off_by_one",
+    "alias_arena",
+    "seeded_mutations",
+]
+
+
+def _sync_sites(instrs: Sequence[Instr]) -> List[Tuple[List[Instr], int]]:
+    """Every (owning list, index) holding a sync instruction, in order."""
+    sites: List[Tuple[List[Instr], int]] = []
+    for i, instr in enumerate(instrs):
+        if isinstance(instr, Loop):
+            sites.extend(_sync_sites(instr.body))
+        elif isinstance(instr, (WaitFlag, SetFlag, Barrier)):
+            sites.append((instrs, i))  # type: ignore[arg-type]
+    return sites
+
+
+def drop_sync(result: "CompileResult") -> Optional["CompileResult"]:
+    """Remove the first load-bearing sync instruction from the stream.
+
+    Returns ``None`` only when the program has no sync whose removal
+    changes the happens-before relation (a sync-free program).
+    """
+    total = len(_sync_sites(result.program.instructions))
+    for k in range(total):
+        mutant = copy.deepcopy(result)
+        owner, idx = _sync_sites(mutant.program.instructions)[k]
+        del owner[idx]
+        try:
+            check_program_sync(mutant.program.instructions)
+        except VerificationError:
+            return mutant  # removal breaks a real ordering: keep it
+    return None
+
+
+def swap_stmts(result: "CompileResult") -> Optional["CompileResult"]:
+    """Reverse the statement order inside a group (swapped-band mutant).
+
+    Falls back to swapping two adjacent groups when every group is a
+    single statement; a kernel with one statement in one group has no
+    order to break and yields ``None``.
+    """
+    mutant = copy.deepcopy(result)
+    for group in mutant.groups:
+        if len(group.statements) >= 2:
+            group.statements.reverse()
+            return mutant
+    if len(mutant.groups) >= 2:
+        mutant.groups[0], mutant.groups[1] = mutant.groups[1], mutant.groups[0]
+        return mutant
+    return None
+
+
+def tile_off_by_one(result: "CompileResult") -> Optional["CompileResult"]:
+    """Widen one tile box past its statement's extent by one.
+
+    Bumps a pure upper-bound constraint (``iter <= c``) in an instance
+    relation *and* the linked tile dim's count, so the relaxed box is
+    actually reachable through the tile grid — the canonical
+    ceil-division off-by-one a buggy tiler would produce.
+    """
+    mutant = copy.deepcopy(result)
+    for group in mutant.groups:
+        for sid, rel in group.instance_relations.items():
+            for ci, c in enumerate(rel.constraints):
+                names = c.variables()
+                if c.is_equality or len(names) != 1:
+                    continue
+                v = names[0]
+                if v in group.tile_dims:
+                    continue
+                if c.expr.coeff(v) != -1 or c.expr.const <= 0:
+                    continue  # want an upper bound "v <= const"
+                linked = None
+                for di, d in enumerate(group.tile_dims):
+                    if any(
+                        d in c2.variables() and v in c2.variables()
+                        for c2 in rel.constraints
+                    ):
+                        linked = di
+                        break
+                cons = list(rel.constraints)
+                cons[ci] = Constraint(c.expr + 1)
+                group.instance_relations[sid] = BasicMap(
+                    rel.in_space, rel.out_space, cons
+                )
+                if linked is not None:
+                    group.tile_counts[linked] += 1
+                return mutant
+    return None
+
+
+def alias_arena(plan: "NetworkPlan") -> Optional["NetworkPlan"]:
+    """Force two live-range-overlapping tensors into one arena slot."""
+    mutant = copy.deepcopy(plan)
+    arena = mutant.arena
+    keys = list(arena.slot_of)
+    for a in range(len(keys)):
+        for b in range(a + 1, len(keys)):
+            ka, kb = keys[a], keys[b]
+            if arena.slot_of[ka] == arena.slot_of[kb]:
+                continue
+            ia, ib = arena.intervals.get(ka), arena.intervals.get(kb)
+            if ia is None or ib is None:
+                continue
+            if ia[0] <= ib[1] and ib[0] <= ia[1]:
+                arena.slot_of[kb] = arena.slot_of[ka]
+                return mutant
+    return None
+
+
+#: The kernel-level mutation suite, in documentation order.
+KERNEL_MUTATIONS: List[
+    Tuple[str, Callable[["CompileResult"], Optional["CompileResult"]]]
+] = [
+    ("drop_sync", drop_sync),
+    ("swap_stmts", swap_stmts),
+    ("tile_off_by_one", tile_off_by_one),
+]
+
+
+def seeded_mutations(
+    result: "CompileResult",
+) -> List[Tuple[str, "CompileResult"]]:
+    """All applicable kernel-level mutants of one compiled result."""
+    out: List[Tuple[str, "CompileResult"]] = []
+    for name, fn in KERNEL_MUTATIONS:
+        mutant = fn(result)
+        if mutant is not None:
+            out.append((name, mutant))
+    return out

@@ -1,6 +1,5 @@
 """Tests for the TVM-baseline compiler's documented behaviours."""
 
-import pytest
 
 from repro.core.compiler import build
 from repro.hw.isa import VectorInstr

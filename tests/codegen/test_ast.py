@@ -1,6 +1,5 @@
 """Tests for polyhedral AST generation."""
 
-import pytest
 
 from repro.codegen.ast import generate_ast
 from repro.core.compiler import AkgOptions, build

@@ -1,10 +1,9 @@
 """Tests for the img2col (Eq. 1) and fractal GEMM transformations."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.conv.fractal import FractalGemm, fractal_gemm_for, gemm_shape_of
+from repro.conv.fractal import FractalGemm, gemm_shape_of
 from repro.conv.img2col import (
     Img2ColParams,
     img2col_index_map,

@@ -9,7 +9,6 @@ not a simulated one.
 import os
 
 import numpy as np
-import pytest
 
 from repro.core import diskcache
 from repro.core.compiler import AkgOptions, build

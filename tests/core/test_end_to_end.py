@@ -7,7 +7,6 @@ together.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.compiler import AkgOptions, build
 from repro.ir import ops

@@ -15,6 +15,7 @@ from repro.core.errors import (
     SolverBudgetError,
     StageTimeoutError,
     TilingError,
+    VerificationError,
     error_classes,
     exit_code_for,
 )
@@ -31,6 +32,7 @@ ALL_CLASSES = (
     ExecutionFallbackError,
     NetworkPlanError,
     ServiceError,
+    VerificationError,
 )
 
 

@@ -7,7 +7,6 @@ same function as the reference executor.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for intra-tile fusion: unit assignment and rescheduling."""
 
-import pytest
 
 from repro.fusion.intratile import (
     assign_compute_units,
@@ -11,7 +10,7 @@ from repro.fusion.intratile import (
 )
 from repro.ir import lower, ops
 from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
-from repro.poly.affine import AffineExpr, var
+from repro.poly.affine import var
 from repro.sched.deps import compute_dependences
 from repro.sched.scheduler import PolyScheduler
 from repro.sched.tree import BandNode, MarkNode

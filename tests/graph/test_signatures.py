@@ -1,6 +1,5 @@
 """Tests for subgraph signature identity (kernel dedup correctness)."""
 
-import pytest
 
 from repro.graph.fusion import extract_subgraph, fuse_graph
 from repro.ir import ops

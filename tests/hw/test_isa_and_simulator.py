@@ -4,9 +4,7 @@ import pytest
 
 from repro.hw.isa import (
     Barrier,
-    CubeInstr,
     DmaInstr,
-    Img2ColInstr,
     Loop,
     Pipe,
     Program,

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.hw.spec_lang import (
-    BufferSpec,
-    ComputeUnitSpec,
-    DataflowSpec,
-    NpuSpecError,
-    parse_npu_spec,
-)
+from repro.hw.spec_lang import NpuSpecError, parse_npu_spec
 
 
 EXAMPLE = """

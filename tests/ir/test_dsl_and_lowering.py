@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.ir import lower
-from repro.ir.expr import IterVar, Reduce, TensorRef
-from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis, te_sum
+from repro.ir.expr import IterVar
+from repro.ir.tensor import compute, placeholder, reduce_axis, te_sum
 from repro.runtime.reference import evaluate_kernel, evaluate_tensors
 
 

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.affine import Constraint, var
 from repro.poly.ilp import IlpProblem, IlpStatus
 
 

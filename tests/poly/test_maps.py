@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.affine import Constraint, var
 from repro.poly.maps import BasicMap, Map
 from repro.poly.sets import BasicSet, Space
 

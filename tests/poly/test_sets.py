@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.poly.affine import AffineExpr, Constraint, var
-from repro.poly.sets import BasicSet, Set, Space
+from repro.poly.sets import BasicSet, Space
 
 
 def box(name, **bounds):

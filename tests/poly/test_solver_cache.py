@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.affine import Constraint, var
 from repro.poly.cache import (
     FM_CACHE,
     ILP_CACHE,

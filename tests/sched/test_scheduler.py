@@ -6,7 +6,7 @@ from repro.ir import lower, ops
 from repro.ir.expr import FloatImm
 from repro.ir.lower import PolyStatement, TensorAccess
 from repro.ir.tensor import Tensor, compute, placeholder, reduce_axis, te_sum
-from repro.poly.affine import AffineExpr, Constraint, var
+from repro.poly.affine import AffineExpr, var
 from repro.sched.clustering import conservative_clustering
 from repro.sched.deps import compute_dependences
 from repro.sched.scheduler import PolyScheduler, SchedulerOptions, check_legality

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.poly.affine import AffineExpr, var
+from repro.poly.affine import var
 from repro.poly.sets import BasicSet, Space
 from repro.sched.tree import (
     BandNode,
@@ -10,8 +10,6 @@ from repro.sched.tree import (
     ExtensionNode,
     FilterNode,
     LeafNode,
-    MarkNode,
-    ScheduleNode,
     SequenceNode,
     SetNode,
     clone_tree,

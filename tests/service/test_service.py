@@ -1,7 +1,6 @@
 """The in-process compile service: coalescing, memo, failure isolation."""
 
 import threading
-import time
 
 import pytest
 

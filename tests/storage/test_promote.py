@@ -1,6 +1,5 @@
 """Tests for buffer promotion and footprint computation."""
 
-import pytest
 
 from repro.fusion.intratile import assign_compute_units
 from repro.fusion.posttile import apply_post_tiling_fusion

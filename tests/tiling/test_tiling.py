@@ -8,7 +8,7 @@ from repro.poly.affine import AffineExpr, Constraint, var
 from repro.sched.clustering import conservative_clustering
 from repro.sched.deps import compute_dependences
 from repro.sched.scheduler import PolyScheduler, check_legality
-from repro.sched.tree import BandNode, ExtensionNode, MarkNode
+from repro.sched.tree import BandNode, ExtensionNode
 from repro.fusion.posttile import apply_post_tiling_fusion
 from repro.tiling.reverse import (
     footprint_box,

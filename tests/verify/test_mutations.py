@@ -1,0 +1,73 @@
+"""The mutation harness: every seeded corruption must be rejected.
+
+A verifier that passes everything is worse than none — it launders
+broken schedules as "verified".  Each mutation here models a real pass
+bug (dropped sync flag, reordered statements, off-by-one tile box,
+aliased arena slot); the corresponding checker must raise the typed
+:class:`~repro.core.errors.VerificationError`, and the CLI must turn it
+into exit code 13.
+"""
+
+import pytest
+
+import repro.core  # noqa: F401 - resolve graph<->core import order
+from repro.core.compiler import build
+from repro.core.errors import EXIT_CODES, VerificationError
+from repro.graph import compile_network, network
+from repro.service.wire import demo_kernel
+from repro.tools import faultinject
+from repro.tools.akgc import main as akgc_main
+from repro.verify import verify_network_plan, verify_result
+from repro.verify.mutate import alias_arena, seeded_mutations
+
+CATALOG = [
+    ("relu", [8, 32]),
+    ("add", [8, 32]),
+    ("softmax", [8, 32]),
+    ("matmul", [16, 16, 16]),
+    ("conv2d", [1, 4, 10, 10]),
+]
+
+
+@pytest.mark.parametrize("op,shape", CATALOG)
+def test_every_seeded_mutant_is_killed(op, shape):
+    result = build(demo_kernel(op, shape), f"mutate_{op}")
+    mutants = seeded_mutations(result)
+    assert mutants, f"no mutation applied to {op}"
+    for name, mutant in mutants:
+        with pytest.raises(VerificationError):
+            verify_result(mutant)
+    # Mutation worked on deep copies: the original still verifies clean.
+    assert verify_result(result)["sync"]
+
+
+def test_aliased_arena_slot_is_rejected():
+    compiled = compile_network(network("alexnet_tiny"))
+    mutant = alias_arena(compiled.plan)
+    assert mutant is not None, "no aliasable slot pair in alexnet_tiny"
+    with pytest.raises(VerificationError):
+        verify_network_plan(mutant)
+    # The pristine plan still passes.
+    assert verify_network_plan(compiled.plan)["arena"]
+
+
+def test_verification_failure_exits_13(capsys):
+    faultinject.set_spec("verify.schedule:error")
+    try:
+        code = akgc_main(
+            ["matmul", "--shape", "16,16,16", "--no-disk-cache", "--verify"]
+        )
+    finally:
+        faultinject.set_spec(None)
+    assert code == EXIT_CODES[VerificationError] == 13
+    err = capsys.readouterr().err
+    assert "VerificationError" in err
+
+
+def test_without_verify_flag_fault_site_never_fires(capsys):
+    faultinject.set_spec("verify.schedule:error")
+    try:
+        code = akgc_main(["matmul", "--shape", "16,16,16", "--no-disk-cache"])
+    finally:
+        faultinject.set_spec(None)
+    assert code == 0
