@@ -20,6 +20,10 @@ done
 echo "== lint (src/ and tests/) =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src tests
+    # ruff's configured rule set does not carry the service-scoped
+    # silent-except ban (E722/S110 under src/repro/service); the
+    # fallback linter does, so run it on that subtree regardless.
+    python -m repro.tools.lint src/repro/service
 else
     python -m repro.tools.lint src tests
 fi
@@ -65,6 +69,24 @@ for b in (3, 8):
 print("shapes smoke ok: 1 compile, batch 3 and 8 replays bit-identical")
 EOF
 rm -rf "$SHAPES_CACHE_DIR"
+
+echo
+echo "== chaos-serve smoke (service fault tolerance under load) =="
+# Runs in --fast too: the service's ok-or-typed contract under faults is
+# a correctness gate, not a performance measurement.
+python -m repro.tools.bench --chaos-serve --quick \
+    --out /tmp/bench_chaosserve_smoke.json
+python - <<'EOF'
+import json
+report = json.load(open("/tmp/bench_chaosserve_smoke.json"))
+assert report["all_ok"], "chaos-serve scenarios failed"
+for name, row in report["scenarios"].items():
+    assert row["untyped"] == 0, f"{name}: untyped failures escaped"
+    assert row["hangs"] == 0, f"{name}: a request hung"
+assert report["replay"]["bit_identical"], "served replay != scalar oracle"
+print("chaos-serve smoke ok:", ", ".join(report["scenarios"]))
+EOF
+rm -f /tmp/bench_chaosserve_smoke.json
 
 if [ "$FAST" -eq 1 ]; then
     echo

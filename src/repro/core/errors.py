@@ -38,6 +38,8 @@ __all__ = [
     "ExecutionFallbackError",
     "NetworkPlanError",
     "ServiceError",
+    "ServiceOverloadError",
+    "QuarantinedError",
     "VerificationError",
     "EXIT_CODES",
     "exit_code_for",
@@ -179,6 +181,40 @@ class ServiceError(ReproError):
     action = "check the request payload and that akgd is running; see the daemon log"
 
 
+class ServiceOverloadError(ServiceError):
+    """The service shed this request at admission: the queue is full, or
+    the submitting client exceeded its fairness cap.
+
+    Carries ``retry_after`` — the service's estimate (seconds) of when a
+    resubmission will find room, computed from the live queue depth and
+    the recent average request cost.  Clients that honor the hint smooth
+    the load instead of hammering a saturated daemon.
+    """
+
+    action = "back off for retry_after seconds and resubmit"
+
+    def __init__(self, message: str, *, retry_after: float = 0.0, **kwargs):
+        super().__init__(message, **kwargs)
+        self.retry_after = retry_after
+
+
+class QuarantinedError(ServiceError):
+    """The request's kernel digest tripped the poison-kernel breaker.
+
+    After ``threshold`` consecutive timeouts/crashes for one IR digest
+    the service stops burning worker budget on it: further requests fail
+    immediately with this error until the cool-down elapses, after which
+    a single half-open probe is allowed through.  ``retry_after`` is the
+    remaining cool-down.
+    """
+
+    action = "the kernel keeps timing out or crashing workers; fix it or retry after the cool-down"
+
+    def __init__(self, message: str, *, retry_after: float = 0.0, **kwargs):
+        super().__init__(message, **kwargs)
+        self.retry_after = retry_after
+
+
 class VerificationError(ReproError):
     """The static verifier (:mod:`repro.verify`) rejected a compiled
     result: a dependence is not preserved by the final schedule, an array
@@ -208,6 +244,8 @@ EXIT_CODES: Dict[Type[ReproError], int] = {
     NetworkPlanError: 11,
     ServiceError: 12,
     VerificationError: 13,
+    ServiceOverloadError: 14,
+    QuarantinedError: 15,
 }
 
 
@@ -235,6 +273,8 @@ def error_classes() -> Dict[str, Type[ReproError]]:
             ExecutionFallbackError,
             NetworkPlanError,
             ServiceError,
+            ServiceOverloadError,
+            QuarantinedError,
             VerificationError,
         )
     }

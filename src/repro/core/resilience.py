@@ -45,6 +45,8 @@ from repro.core.errors import ReproError, StageTimeoutError
 __all__ = [
     "StageBudget",
     "stage_scope",
+    "deadline_scope",
+    "remaining_deadline",
     "check_deadline",
     "active_stage",
     "active_stage_names",
@@ -167,6 +169,43 @@ def stage_scope(name: str, budget: Optional[StageBudget] = None):
         stages.pop()
         if budget is not None:
             budgets.pop()
+
+
+@contextmanager
+def deadline_scope(name: str, deadline: Optional[float]):
+    """Run a block under an *absolute* monotonic deadline.
+
+    The compile service pushes one of these around each request's whole
+    execution: every nested :func:`stage_scope` deadline then coexists
+    with the end-to-end request deadline on the same stack, and
+    :func:`check_deadline` (which walks every enclosing frame) enforces
+    whichever expires first.  ``deadline=None`` still pushes the frame so
+    ``active_stage_names`` sees the scope (fault-site ``@stage`` filters
+    can target it), it just never fires.
+    """
+    stages = _stage_frames()
+    stages.append([name, deadline, time.monotonic()])
+    try:
+        yield
+    finally:
+        stages.pop()
+
+
+def remaining_deadline() -> Optional[float]:
+    """Seconds until the tightest enclosing deadline (None = unbounded).
+
+    Can be negative when a deadline already expired and the cooperative
+    check has not run yet.
+    """
+    tightest: Optional[float] = None
+    for _name, deadline, _start in _stage_frames():
+        if deadline is None:
+            continue
+        if tightest is None or deadline < tightest:
+            tightest = deadline
+    if tightest is None:
+        return None
+    return tightest - time.monotonic()
 
 
 def check_deadline() -> None:

@@ -6,12 +6,25 @@ object can be shared across threads (the load bench drives one from 16
 closed-loop client threads).  Connection and protocol failures raise
 :class:`~repro.core.errors.ServiceError`; per-request compilation
 failures come back as normal response dicts with ``ok: false``.
+
+The client is *retry-aware*: a refused or reset connection (the daemon
+restarting, a supervisor replacing it) is retried up to ``retries``
+times with exponential backoff, and an overload response whose error
+carries a ``retry_after`` hint is resubmitted after honoring the hint —
+so well-behaved clients smooth load spikes instead of amplifying them.
+Both retry budgets are bounded; a daemon that stays down or saturated
+still fails typed in bounded time.  Retries are safe by construction:
+the protocol is one request line → one response line, so a request
+whose connection died before the response can only have been admitted
+or shed, never half-answered — and service-side coalescing/memoization
+makes the resubmission cheap.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.errors import ServiceError
@@ -20,15 +33,37 @@ __all__ = ["ServiceClient"]
 
 
 class ServiceClient:
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 120.0):
+    """``retries`` bounds reconnection attempts after connection errors;
+    ``backoff`` is the initial sleep (doubled per attempt, capped at
+    ``max_backoff``).  ``overload_retries`` bounds how many overload
+    (``retry_after``-hinted) responses are absorbed before the last one
+    is returned to the caller; ``max_retry_after`` clamps any hint so a
+    confused daemon cannot park a client for minutes."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 120.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+        overload_retries: int = 0,
+        max_retry_after: float = 5.0,
+    ):
         if not port:
             raise ServiceError("ServiceClient needs the daemon's port")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.overload_retries = overload_retries
+        self.max_retry_after = max_retry_after
 
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """One request → one response dict (raises ServiceError on I/O)."""
+    def _request_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One connection, one line out, one line back."""
         try:
             with socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
@@ -49,10 +84,48 @@ class ServiceClient:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceError(f"bad response from akgd: {exc}")
 
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request → one response dict, with bounded retries.
+
+        Raises :class:`ServiceError` once the reconnection budget is
+        exhausted.  Overload responses are retried (after their
+        ``retry_after`` hint) only when ``overload_retries`` > 0; the
+        final overload response is returned, not raised — it is a valid
+        protocol answer the caller may want to inspect.
+        """
+        overload_left = self.overload_retries
+        delay = self.backoff
+        attempts = 0
+        while True:
+            try:
+                response = self._request_once(payload)
+            except ServiceError:
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+                continue
+            error = response.get("error") if isinstance(response, dict) else None
+            if (
+                overload_left > 0
+                and isinstance(error, dict)
+                and error.get("retry_after") is not None
+            ):
+                overload_left -= 1
+                hint = float(error["retry_after"])
+                time.sleep(max(0.0, min(hint, self.max_retry_after)))
+                continue
+            return response
+
     # -- conveniences -------------------------------------------------------
 
     def ping(self) -> bool:
         return bool(self.request({"kind": "ping"}).get("pong"))
+
+    def state(self) -> Optional[str]:
+        """The daemon's readiness (``accepting``/``draining``), or None."""
+        return self.request({"kind": "ping"}).get("state")
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"kind": "stats"}).get("stats", {})
@@ -68,6 +141,8 @@ class ServiceClient:
         name: Optional[str] = None,
         options: Optional[Dict[str, Any]] = None,
         fault_spec: Optional[str] = None,
+        deadline: Optional[float] = None,
+        client_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "kind": "compile",
@@ -81,4 +156,8 @@ class ServiceClient:
             payload["options"] = options
         if fault_spec:
             payload["fault_spec"] = fault_spec
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if client_id is not None:
+            payload["client_id"] = client_id
         return self.request(payload)

@@ -11,10 +11,16 @@ connection — and the daemon — live on.
 
 Control verbs (handled here, not queued):
 
-- ``{"kind": "ping"}``      → ``{"ok": true, "pong": true}``
+- ``{"kind": "ping"}``      → ``{"ok": true, "pong": true, "state": ...}``
+  (``state`` is the service's readiness: accepting / draining / stopped)
 - ``{"kind": "stats"}``     → ``{"ok": true, "stats": {...}}``
-- ``{"kind": "shutdown"}``  → ``{"ok": true, "stopping": true}`` and the
-  daemon drains its queue and exits.
+- ``{"kind": "shutdown"}``  → ``{"ok": true, "stopping": true}``; the
+  service stops admitting immediately (``draining``), every queued build
+  still completes, and the accept loop exits.
+
+Over-long lines (> :data:`MAX_LINE_BYTES`) are drained and answered
+with a typed error instead of being misparsed as several requests or
+ballooning the daemon's memory.
 """
 
 from __future__ import annotations
@@ -35,6 +41,20 @@ MAX_LINE_BYTES = 1 << 20
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def _drain_oversized_line(self) -> bool:
+        """Discard the rest of an over-long line; False on disconnect.
+
+        ``readline(limit)`` hands back a partial chunk with no newline;
+        the remainder must be consumed (and discarded, never buffered)
+        or it would be misparsed as the next request.
+        """
+        while True:
+            chunk = self.rfile.readline(MAX_LINE_BYTES)
+            if not chunk:
+                return False
+            if chunk.endswith(b"\n"):
+                return True
+
     def handle(self) -> None:
         server: "AkgdServer" = self.server  # type: ignore[assignment]
         while True:
@@ -44,6 +64,24 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not line:
                 return
+            if len(line) >= MAX_LINE_BYTES and not line.endswith(b"\n"):
+                try:
+                    alive = self._drain_oversized_line()
+                except (ConnectionError, OSError):
+                    return
+                response = wire.error_to_json(
+                    ServiceError(
+                        f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    )
+                )
+                try:
+                    self.wfile.write(json.dumps(response).encode() + b"\n")
+                    self.wfile.flush()
+                except (ConnectionError, OSError):
+                    return
+                if not alive:
+                    return
+                continue
             line = line.strip()
             if not line:
                 continue
@@ -73,13 +111,18 @@ class AkgdServer(socketserver.ThreadingTCPServer):
     def handle_line(self, line: bytes) -> dict:
         """One wire request → one response dict (never raises)."""
         try:
+            from repro.tools import faultinject
+
+            faultinject.fire("service.wire")
             payload = json.loads(line.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             return wire.error_to_json(ServiceError(f"bad JSON: {exc}"))
+        except Exception as exc:  # noqa: BLE001 - injected wire faults
+            return wire.error_to_json(exc)
         if isinstance(payload, dict):
             kind = payload.get("kind")
             if kind == "ping":
-                return {"ok": True, "pong": True}
+                return {"ok": True, "pong": True, "state": self.service.state}
             if kind == "stats":
                 return {"ok": True, "stats": self.service.stats()}
             if kind == "shutdown":
@@ -95,7 +138,13 @@ class AkgdServer(socketserver.ThreadingTCPServer):
         return wire.result_to_json(result)
 
     def initiate_shutdown(self) -> None:
-        """Stop the accept loop from a handler thread (non-blocking)."""
+        """Begin a graceful drain from a handler thread (non-blocking).
+
+        The service flips to ``draining`` *synchronously* — a request
+        racing this one already gets the typed drain rejection — while
+        queued builds finish and the accept loop stops in the background.
+        """
+        self.service.initiate_shutdown()
         threading.Thread(target=self.shutdown, daemon=True).start()
 
 
@@ -106,17 +155,26 @@ def serve(
     queue_size: int = 256,
     default_stage_seconds: Optional[float] = 120.0,
     ready_callback=None,
+    max_per_client: Optional[int] = None,
+    quarantine_threshold: int = 3,
+    quarantine_cooldown: float = 30.0,
+    watchdog_seconds: Optional[float] = None,
 ) -> None:
     """Run a daemon until a ``shutdown`` request arrives.
 
     ``port=0`` binds an ephemeral port; ``ready_callback(host, port)``
     fires once the socket is listening (the CLI writes its ready-file
-    there), so launchers never poll.
+    there), so launchers never poll.  The fault-tolerance knobs map
+    one-to-one onto :class:`CompileService`.
     """
     service = CompileService(
         workers=workers,
         queue_size=queue_size,
         default_stage_seconds=default_stage_seconds,
+        max_per_client=max_per_client,
+        quarantine_threshold=quarantine_threshold,
+        quarantine_cooldown=quarantine_cooldown,
+        watchdog_seconds=watchdog_seconds,
     )
     with AkgdServer((host, port), service) as server:
         bound_host, bound_port = server.server_address[:2]

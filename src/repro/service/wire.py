@@ -22,10 +22,20 @@ Request schema (``kind`` defaults to ``compile``)::
 An optional ``"batch_max": 16`` makes the leading dim symbolic: every
 batch size of the same shape class shares one compile (requests for
 different ``shape[0]`` values coalesce into a single build), and replay
-binds ``shape[0]`` at execution time.
+binds ``shape[0]`` at execution time.  An optional ``"deadline": 5.0``
+is the request's end-to-end wall-clock allowance in seconds (expired
+requests fail typed with ``StageTimeoutError`` instead of running), and
+``"client_id": "ci-bot"`` attributes the request for the daemon's
+per-client fairness cap.
 
 plus the control verbs ``{"kind": "ping"}``, ``{"kind": "stats"}`` and
 ``{"kind": "shutdown"}`` handled by the server directly.
+
+Parsing is *strict*: unknown top-level or options keys, wrong-typed
+values (a string ``batch_max``, a boolean ``stage_timeout``) and
+oversized lines all produce a typed :class:`ServiceError` response —
+never a raw traceback, and never a silently-ignored field that the
+client believed was doing something.
 
 Responses carry ``ok`` and either a kind-specific summary (compiled
 programs are summarised — cycles, tile sizes and the sha256 of the
@@ -113,16 +123,103 @@ def demo_kernel(
     raise ValueError(f"unknown op {op!r} (known: {DEMO_OPS})")
 
 
+#: Every key a request object may carry; anything else is a typed error.
+REQUEST_KEYS = frozenset(
+    (
+        "kind",
+        "op",
+        "shape",
+        "dtype",
+        "name",
+        "kernel",
+        "stride",
+        "out_channels",
+        "batch_max",
+        "options",
+        "fault_spec",
+        "tune",
+        "seed",
+        "engine",
+        "deadline",
+        "client_id",
+    )
+)
+
+#: Every key an ``options`` object may carry.
+OPTION_KEYS = frozenset(
+    (
+        "tile_policy",
+        "tile_sizes",
+        "sync_policy",
+        "no_fusion",
+        "emit_trace",
+        "verify",
+        "stage_timeout",
+        "solver_budget",
+    )
+)
+
+
+def _require_number(
+    payload: Dict[str, Any], key: str, *, positive: bool = False
+) -> Optional[float]:
+    """A float field that must be a real JSON number (bool is not one)."""
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(
+            f"{key!r} must be a number, got {type(value).__name__}"
+        )
+    if positive and value <= 0:
+        raise ServiceError(f"{key!r} must be positive, got {value!r}")
+    return float(value)
+
+
+def _require_int(payload: Dict[str, Any], key: str, default: int = 0) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(
+            f"{key!r} must be an integer, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_str(payload: Dict[str, Any], key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ServiceError(
+            f"{key!r} must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
 def _options_from_json(payload: Optional[Dict[str, Any]]):
     from repro.core.compiler import AkgOptions
     from repro.core.resilience import StageBudget
 
     payload = payload or {}
+    if not isinstance(payload, dict):
+        raise ServiceError("'options' must be a JSON object")
+    unknown = set(payload) - OPTION_KEYS
+    if unknown:
+        raise ServiceError(
+            f"unknown options key(s) {sorted(unknown)} "
+            f"(known: {sorted(OPTION_KEYS)})"
+        )
     budget = None
-    if payload.get("stage_timeout") is not None or payload.get("solver_budget"):
+    stage_timeout = _require_number(payload, "stage_timeout", positive=True)
+    solver_budget = payload.get("solver_budget")
+    if solver_budget is not None and (
+        isinstance(solver_budget, bool) or not isinstance(solver_budget, int)
+    ):
+        raise ServiceError("'solver_budget' must be an integer")
+    if stage_timeout is not None or solver_budget:
         budget = StageBudget(
-            stage_seconds=payload.get("stage_timeout"),
-            solver_nodes=payload.get("solver_budget"),
+            stage_seconds=stage_timeout,
+            solver_nodes=solver_budget,
         )
     try:
         return AkgOptions(
@@ -147,27 +244,49 @@ def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
     """
     if not isinstance(payload, dict):
         raise ServiceError("request must be a JSON object")
+    unknown = set(payload) - REQUEST_KEYS
+    if unknown:
+        raise ServiceError(
+            f"unknown request key(s) {sorted(unknown)} "
+            f"(known: {sorted(REQUEST_KEYS)})"
+        )
     kind = payload.get("kind", "compile")
     if kind not in ("compile", "tune", "replay"):
         raise ServiceError(f"unknown request kind {kind!r}")
     op = payload.get("op")
     shape = payload.get("shape")
-    if not op or not isinstance(shape, list) or not shape:
-        raise ServiceError("request needs 'op' and a non-empty 'shape' list")
+    if (
+        not op
+        or not isinstance(op, str)
+        or not isinstance(shape, list)
+        or not shape
+        or not all(
+            isinstance(x, int) and not isinstance(x, bool) for x in shape
+        )
+    ):
+        raise ServiceError(
+            "request needs a string 'op' and a non-empty integer 'shape' list"
+        )
     batch_max = payload.get("batch_max")
+    if batch_max is not None and (
+        isinstance(batch_max, bool) or not isinstance(batch_max, int)
+    ):
+        raise ServiceError(
+            f"'batch_max' must be an integer, got {type(batch_max).__name__}"
+        )
     try:
         outputs = demo_kernel(
             op,
             shape,
             dtype=payload.get("dtype", "fp16"),
-            kernel=int(payload.get("kernel", 3)),
-            stride=int(payload.get("stride", 1)),
+            kernel=_require_int(payload, "kernel", 3),
+            stride=_require_int(payload, "stride", 1),
             out_channels=payload.get("out_channels"),
             batch_max=batch_max,
         )
     except (ValueError, TypeError) as exc:
         raise ServiceError(f"bad kernel spec: {exc}")
-    fault_spec = payload.get("fault_spec")
+    fault_spec = _require_str(payload, "fault_spec")
     if fault_spec:
         from repro.tools import faultinject
 
@@ -178,6 +297,11 @@ def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
     tune_payload = payload.get("tune") or {}
     if not isinstance(tune_payload, dict):
         raise ServiceError("'tune' must be a JSON object")
+    deadline = _require_number(payload, "deadline", positive=True)
+    client_id = _require_str(payload, "client_id")
+    engine = payload.get("engine", "auto")
+    if not isinstance(engine, str):
+        raise ServiceError("'engine' must be a string")
     # Symbolic requests get a shape-*class* tag (the requested batch must
     # not leak into the kernel name: the name is part of the compile
     # fingerprint, and batch sizes of one class must share it).
@@ -189,13 +313,15 @@ def request_from_json(payload: Dict[str, Any]) -> ServiceRequest:
     return ServiceRequest(
         kind,
         outputs,
-        name=payload.get("name") or f"akgd_{op}_{'x'.join(tags)}",
+        name=_require_str(payload, "name") or f"akgd_{op}_{'x'.join(tags)}",
         options=_options_from_json(payload.get("options")),
         fault_spec=fault_spec,
         tune_params=tune_payload or None,
-        seed=int(payload.get("seed", 0)),
-        engine=payload.get("engine", "auto"),
+        seed=_require_int(payload, "seed"),
+        engine=engine,
         bindings=bindings,
+        deadline_seconds=deadline,
+        client_id=client_id,
     )
 
 
@@ -247,12 +373,13 @@ def error_to_json(exc: BaseException) -> Dict[str, Any]:
     from repro.core.errors import exit_code_for
 
     action = getattr(exc, "action", "check the request payload")
-    return {
-        "ok": False,
-        "error": {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "exit_code": exit_code_for(exc),
-            "action": action,
-        },
+    body: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "exit_code": exit_code_for(exc),
+        "action": action,
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    return {"ok": False, "error": body}

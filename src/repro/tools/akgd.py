@@ -13,7 +13,13 @@ The daemon speaks newline-delimited JSON (schema in
 once the socket is listening, so scripted launchers (scripts/check.sh,
 the load bench) never poll a port.  Exit codes follow the taxonomy in
 :mod:`repro.core.errors` — a service-level failure (daemon unreachable,
-bad payload) is 12.
+bad payload) is 12, an admission shed (full queue / fairness cap) is
+14, and a quarantined kernel is 15.
+
+Fault-tolerance knobs: ``--max-per-client`` caps one client's queued
+builds, ``--quarantine-threshold``/``--quarantine-cooldown`` configure
+the poison-kernel breaker, and ``--watchdog`` bounds how long a request
+may occupy a worker before the supervisor restarts it.
 """
 
 from __future__ import annotations
@@ -33,12 +39,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="service worker threads (default 4)")
     parser.add_argument("--queue-size", type=int, default=256,
-                        help="max pending builds before submissions are "
-                             "rejected with a typed ServiceError")
+                        help="max pending builds before submissions are shed "
+                             "with a typed ServiceOverloadError (exit 14) "
+                             "carrying a retry-after hint")
     parser.add_argument("--stage-timeout", type=float, default=120.0,
                         metavar="SECONDS",
                         help="default per-stage wall-clock deadline applied "
                              "to requests that do not set their own")
+    parser.add_argument("--max-per-client", type=int, default=None,
+                        metavar="N",
+                        help="fairness cap: max builds one client_id may "
+                             "have queued at once (default: no cap)")
+    parser.add_argument("--quarantine-threshold", type=int, default=3,
+                        metavar="N",
+                        help="consecutive timeouts/crashes of one kernel "
+                             "digest before it is quarantined (exit 15)")
+    parser.add_argument("--quarantine-cooldown", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="how long a quarantined digest stays blocked "
+                             "before a half-open probe is allowed")
+    parser.add_argument("--watchdog", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervisor watchdog: a request occupying a "
+                             "worker longer than this is requeued once and "
+                             "the worker replaced (default: off)")
     parser.add_argument("--ready-file", default=None, metavar="PATH",
                         help="write 'host port' here once listening")
     parser.add_argument("--ping", action="store_true",
@@ -59,7 +83,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             client = ServiceClient(args.host, args.port)
             if args.ping:
-                print("pong" if client.ping() else "no pong")
+                response = client.request({"kind": "ping"})
+                if response.get("pong"):
+                    print(f"pong ({response.get('state', 'unknown')})")
+                else:
+                    print("no pong")
             if args.stats:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
             if args.shutdown:
@@ -86,6 +114,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             queue_size=args.queue_size,
             default_stage_seconds=args.stage_timeout,
             ready_callback=ready,
+            max_per_client=args.max_per_client,
+            quarantine_threshold=args.quarantine_threshold,
+            quarantine_cooldown=args.quarantine_cooldown,
+            watchdog_seconds=args.watchdog,
         )
     except KeyboardInterrupt:
         pass

@@ -1518,6 +1518,646 @@ def _format_serve_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+# -- chaos-under-load: the service's failure model under live traffic -------
+
+#: Result-wait bound per request in the chaos-serve driver.  A request
+#: that does not resolve within this is a *hang* — the one outcome the
+#: service's failure model forbids outright.
+_CS_WAIT_SECONDS = 60.0
+
+
+def _cs_classify(run_one) -> Dict[str, object]:
+    """Execute one submission and classify its outcome.
+
+    ``ok`` — the request succeeded; ``typed`` — it failed with a typed
+    error (at admission or during execution); ``untyped`` — something
+    escaped the taxonomy (scenario failure); ``hang`` — the result wait
+    timed out (scenario failure).
+    """
+    from repro.core.errors import ReproError, ServiceError
+
+    t0 = time.perf_counter()
+    try:
+        res = run_one()
+    except ServiceError as exc:
+        latency = time.perf_counter() - t0
+        status = (
+            "hang" if str(exc).startswith("timed out after") else "typed"
+        )
+        return {
+            "status": status,
+            "type": type(exc).__name__,
+            "retry_after": getattr(exc, "retry_after", None),
+            "latency": latency,
+        }
+    except ReproError as exc:
+        return {
+            "status": "typed",
+            "type": type(exc).__name__,
+            "retry_after": getattr(exc, "retry_after", None),
+            "latency": time.perf_counter() - t0,
+        }
+    except Exception as exc:  # noqa: BLE001 - classifying is the point
+        return {
+            "status": "untyped",
+            "type": type(exc).__name__,
+            "latency": time.perf_counter() - t0,
+        }
+    latency = time.perf_counter() - t0
+    if res.ok:
+        return {"status": "ok", "latency": latency}
+    return {
+        "status": "typed",
+        "type": (res.error or {}).get("type", "?"),
+        "retry_after": (res.error or {}).get("retry_after"),
+        "latency": latency,
+    }
+
+
+def _cs_drive(service, requests, concurrency: int) -> List[Dict[str, object]]:
+    """Closed-loop clients pushing ServiceRequests, classifying each."""
+    import itertools
+    import threading
+
+    outcomes: List[Optional[Dict[str, object]]] = [None] * len(requests)
+    counter = itertools.count()
+
+    def client() -> None:
+        while True:
+            i = next(counter)
+            if i >= len(requests):
+                return
+            outcomes[i] = _cs_classify(
+                lambda: service.run(requests[i], timeout=_CS_WAIT_SECONDS)
+            )
+
+    threads = [
+        threading.Thread(target=client, name=f"cs-client-{i}")
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return [o for o in outcomes if o is not None]
+
+
+def _cs_row(outcomes: List[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate one scenario's outcomes into the report row."""
+    total = len(outcomes)
+    by = {"ok": 0, "typed": 0, "untyped": 0, "hang": 0}
+    types: Dict[str, int] = {}
+    for o in outcomes:
+        by[o["status"]] += 1
+        if o["status"] != "ok":
+            types[o["type"]] = types.get(o["type"], 0) + 1
+    latencies = sorted(o["latency"] for o in outcomes)
+    return {
+        "requests": total,
+        "ok": by["ok"],
+        "typed": by["typed"],
+        "untyped": by["untyped"],
+        "hangs": by["hang"],
+        "availability": by["ok"] / total if total else 0.0,
+        "ok_or_typed": (by["ok"] + by["typed"]) / total if total else 0.0,
+        "p50_ms": 1000.0 * _percentile(latencies, 0.50),
+        "p99_ms": 1000.0 * _percentile(latencies, 0.99),
+        "error_types": types,
+    }
+
+
+def _cs_requests(
+    quick: bool, count: int, fault_spec=None, every: int = 0, exclude=()
+):
+    """``count`` compile requests over the serve kernel set; every
+    ``every``-th one (1-based) carries ``fault_spec``; ``exclude`` drops
+    kernels from the rotation (e.g. the deliberately-poisoned one)."""
+    from repro.service.core import ServiceRequest
+
+    builders = _serve_kernels(quick)
+    outputs = {
+        name: fn() for name, fn in builders.items() if name not in exclude
+    }
+    names = sorted(outputs)
+    requests = []
+    for i in range(count):
+        name = names[i % len(names)]
+        spec = fault_spec if (every and (i + 1) % every == 0) else None
+        requests.append(
+            ServiceRequest(
+                "compile", outputs[name], name=f"cs_{name}", fault_spec=spec
+            )
+        )
+    return requests
+
+
+def _cs_scenario_baseline(quick: bool, count: int, concurrency: int):
+    from repro.service.core import CompileService
+
+    with CompileService(workers=4) as service:
+        outcomes = _cs_drive(service, _cs_requests(quick, count), concurrency)
+        stats = service.stats()
+    row = _cs_row(outcomes)
+    row["acceptable"] = row["ok_or_typed"] == 1.0 and row["availability"] == 1.0
+    row["service"] = {k: stats[k] for k in ("completed", "failed", "rejected")}
+    return row
+
+
+def _cs_scenario_faulted(quick: bool, count: int, concurrency: int, site: str):
+    """A fraction of requests carries a per-request fault at ``site``;
+    they must fail typed while the rest of the stream stays available."""
+    from repro.service.core import CompileService
+
+    every = 4
+    with CompileService(workers=4) as service:
+        outcomes = _cs_drive(
+            service,
+            _cs_requests(quick, count, fault_spec=f"{site}:error", every=every),
+            concurrency,
+        )
+        stats = service.stats()
+    row = _cs_row(outcomes)
+    expected_faults = count // every
+    row["injected_faults"] = expected_faults
+    row["acceptable"] = (
+        row["ok_or_typed"] == 1.0
+        and row["typed"] == expected_faults
+        and row["ok"] == count - expected_faults
+    )
+    row["service"] = {k: stats[k] for k in ("completed", "failed")}
+    return row
+
+
+def _cs_scenario_worker_hang(quick: bool, count: int):
+    """Two seeded worker hangs under load: the supervisor requeues each
+    stuck entry once, replaces the worker, and nothing times out."""
+    from repro.service.core import CompileService
+
+    prior = os.environ.get("REPRO_FAULT_SPEC")
+    os.environ["REPRO_FAULT_SPEC"] = "service.worker:hang#limit=2"
+    try:
+        with CompileService(
+            # The watchdog must out-wait the slowest *healthy* cold
+            # build by a wide margin or it would requeue innocents.
+            workers=2,
+            watchdog_seconds=2.0,
+            supervise_interval=0.05,
+        ) as service:
+            outcomes = _cs_drive(service, _cs_requests(quick, count), 2)
+            stats = service.stats()
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_FAULT_SPEC", None)
+        else:
+            os.environ["REPRO_FAULT_SPEC"] = prior
+    row = _cs_row(outcomes)
+    row["supervisor_requeues"] = stats["supervisor_requeues"]
+    row["worker_restarts"] = stats["worker_restarts"]
+    row["zombie_workers"] = stats["zombie_workers"]
+    # Each hang is either requeued-to-success or (second strike on one
+    # entry) failed typed; no hangs may reach a caller.
+    row["acceptable"] = (
+        row["ok_or_typed"] == 1.0
+        and row["hangs"] == 0
+        and stats["supervisor_requeues"] >= 1
+        and stats["worker_restarts"] >= 1
+    )
+    return row
+
+
+def _cs_scenario_quarantine(quick: bool, healthy_count: int):
+    """A seeded poison kernel trips the breaker within ``threshold``
+    executions while the rest of the catalog keeps compiling."""
+    from repro.core.errors import QuarantinedError
+    from repro.service.core import CompileService, ServiceRequest
+
+    threshold = 2
+    builders = _serve_kernels(quick)
+    poison_outputs = builders["matmul"]()
+    # The poison fault fires inside the ILP solver; earlier scenarios
+    # warmed the in-process solver caches for this very kernel, which
+    # would let the "poison" build skip solving and succeed.
+    clear_solver_caches()
+
+    def poison_request():
+        return ServiceRequest(
+            "compile",
+            poison_outputs,
+            name="cs_poison",
+            fault_spec="ilp.solve:delay",
+        )
+
+    attempts = 6
+    executed_failures = 0
+    blocked = 0
+    with CompileService(
+        workers=2,
+        quarantine_threshold=threshold,
+        quarantine_cooldown=300.0,
+        default_stage_seconds=10.0,
+    ) as service:
+        poison_outcomes = []
+        for _ in range(attempts):
+            outcome = _cs_classify(
+                lambda: service.run(poison_request(), timeout=_CS_WAIT_SECONDS)
+            )
+            poison_outcomes.append(outcome)
+            if outcome["status"] == "typed":
+                if outcome["type"] == QuarantinedError.__name__:
+                    blocked += 1
+                else:
+                    executed_failures += 1
+        # "Healthy" excludes the poisoned kernel: the breaker keys the
+        # IR digest, so every *name* of the poisoned matmul is blocked —
+        # which is exactly the point.
+        healthy = _cs_drive(
+            service,
+            _cs_requests(quick, healthy_count, exclude=("matmul",)),
+            4,
+        )
+        stats = service.stats()
+    row = _cs_row(poison_outcomes + healthy)
+    healthy_row = _cs_row(healthy)
+    row["poison_attempts"] = attempts
+    row["poison_executed_failures"] = executed_failures
+    row["poison_blocked"] = blocked
+    row["quarantine_trips"] = stats["quarantine_trips"]
+    row["healthy_availability"] = healthy_row["availability"]
+    # The breaker must trip after exactly ``threshold`` burnt executions
+    # and shield the rest, with zero collateral damage to other kernels.
+    row["acceptable"] = (
+        stats["quarantine_trips"] == 1
+        and executed_failures == threshold
+        and blocked == attempts - threshold
+        and healthy_row["availability"] == 1.0
+    )
+    return row
+
+
+def _cs_scenario_overload(quick: bool):
+    """A tiny queue under a thundering herd: excess load is shed typed
+    with a retry-after hint, and a client honoring the hint gets in."""
+    from repro.core.errors import ServiceOverloadError
+    from repro.service.core import CompileService, ServiceRequest
+
+    builders = _serve_kernels(quick)
+    outputs = {name: fn() for name, fn in builders.items()}
+    names = sorted(outputs)
+    count = 32
+    requests = [
+        ServiceRequest(
+            "compile",
+            outputs[names[i % len(names)]],
+            # Distinct names defeat coalescing/memoization so every
+            # request genuinely occupies a queue slot.
+            name=f"cs_ov_{i}",
+        )
+        for i in range(count)
+    ]
+    with CompileService(workers=1, queue_size=2) as service:
+        outcomes = _cs_drive(service, requests, 8)
+        stats = service.stats()
+        # A polite client: resubmit honoring each hint, bounded budget.
+        honored = {"attempts": 0, "succeeded": False}
+        retry_req = ServiceRequest(
+            "compile", outputs[names[0]], name="cs_ov_retry"
+        )
+        for _ in range(20):
+            honored["attempts"] += 1
+            try:
+                res = service.run(retry_req, timeout=_CS_WAIT_SECONDS)
+            except ServiceOverloadError as exc:
+                time.sleep(min(max(exc.retry_after, 0.01), 2.0))
+                continue
+            honored["succeeded"] = bool(res.ok)
+            break
+    row = _cs_row(outcomes)
+    sheds = row["error_types"].get("ServiceOverloadError", 0)
+    hints_present = all(
+        o.get("retry_after") is not None and o["retry_after"] > 0
+        for o in outcomes
+        if o["status"] == "typed" and o["type"] == "ServiceOverloadError"
+    )
+    row["sheds"] = sheds
+    row["shed_hints_present"] = hints_present
+    row["honored_retry"] = honored
+    row["service_rejected"] = stats["rejected"]
+    row["acceptable"] = (
+        row["ok_or_typed"] == 1.0
+        and sheds > 0
+        and hints_present
+        and honored["succeeded"]
+    )
+    return row
+
+
+def _cs_scenario_wire(quick: bool):
+    """Wire-level chaos against a live daemon: injected codec faults and
+    malformed/oversized lines, all answered typed on live connections."""
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.core import CompileService
+    from repro.service.server import MAX_LINE_BYTES, AkgdServer
+
+    service = CompileService(workers=2)
+    server = AkgdServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        "127.0.0.1", server.server_address[1], timeout=60, retries=2
+    )
+    shape = [16, 32] if quick else [32, 64]
+    prior = os.environ.get("REPRO_FAULT_SPEC")
+    os.environ["REPRO_FAULT_SPEC"] = "service.wire:error#skip=2#limit=3"
+    outcomes: List[Dict[str, object]] = []
+    try:
+        payloads = [
+            {"kind": "compile", "op": "relu", "shape": shape},
+            {"kind": "compile", "op": "softmax", "shape": shape},
+            {"not": "a request"},
+            {"kind": "compile", "op": "relu", "shape": shape},
+            {"kind": "compile", "op": "relu", "shape": "wrong"},
+            {"kind": "compile", "op": "softmax", "shape": shape},
+            {"kind": "compile", "op": "relu", "shape": shape},
+            {"kind": "compile", "op": "relu", "shape": shape,
+             "options": {"stage_timeout": "soon"}},
+        ]
+        for payload in payloads:
+            t0 = time.perf_counter()
+            response = client.request(payload)
+            latency = time.perf_counter() - t0
+            if response.get("ok"):
+                outcomes.append({"status": "ok", "latency": latency})
+            else:
+                error = response.get("error") or {}
+                status = "typed" if error.get("type") else "untyped"
+                outcomes.append(
+                    {
+                        "status": status,
+                        "type": error.get("type", "?"),
+                        "latency": latency,
+                    }
+                )
+        # An oversized line answers typed and leaves the daemon alive.
+        import json as _json
+        import socket as _socket
+
+        with _socket.create_connection(
+            ("127.0.0.1", server.server_address[1]), timeout=60
+        ) as sock:
+            sock.sendall(b'{"pad": "' + b"x" * (MAX_LINE_BYTES + 16) + b'"}\n')
+            reader = sock.makefile("rb")
+            big = _json.loads(reader.readline().decode())
+        outcomes.append(
+            {
+                "status": "typed" if not big.get("ok") else "untyped",
+                "type": (big.get("error") or {}).get("type", "?"),
+                "latency": 0.0,
+            }
+        )
+        alive_after = client.ping()
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_FAULT_SPEC", None)
+        else:
+            os.environ["REPRO_FAULT_SPEC"] = prior
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        service.close()
+    row = _cs_row(outcomes)
+    row["daemon_alive_after"] = alive_after
+    row["acceptable"] = (
+        row["ok_or_typed"] == 1.0 and row["untyped"] == 0 and alive_after
+    )
+    return row
+
+
+def _cs_scenario_drain(quick: bool):
+    """Shutdown mid-load: accepted builds finish, late submissions are
+    rejected typed (at the daemon or as connection errors at the
+    client), and the daemon actually exits."""
+    import threading
+
+    from repro.core.errors import ServiceError
+    from repro.service.client import ServiceClient
+    from repro.service.core import CompileService
+    from repro.service.server import AkgdServer
+
+    service = CompileService(workers=2, queue_size=64)
+    server = AkgdServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    shape = [16, 32] if quick else [32, 64]
+    outcomes: List[Dict[str, object]] = []
+    lock = threading.Lock()
+    per_client = 4 if quick else 6
+
+    def load_client(idx: int) -> None:
+        client = ServiceClient("127.0.0.1", port, timeout=60, retries=0)
+        for j in range(per_client):
+            t0 = time.perf_counter()
+            try:
+                response = client.compile(
+                    "relu", shape, name=f"cs_drain_{idx}_{j}"
+                )
+            except ServiceError as exc:
+                with lock:
+                    outcomes.append(
+                        {
+                            "status": "typed",
+                            "type": type(exc).__name__,
+                            "latency": time.perf_counter() - t0,
+                        }
+                    )
+                continue
+            with lock:
+                if response.get("ok"):
+                    outcomes.append(
+                        {
+                            "status": "ok",
+                            "latency": time.perf_counter() - t0,
+                        }
+                    )
+                else:
+                    error = response.get("error") or {}
+                    outcomes.append(
+                        {
+                            "status": "typed" if error.get("type") else "untyped",
+                            "type": error.get("type", "?"),
+                            "latency": time.perf_counter() - t0,
+                        }
+                    )
+
+    clients = [
+        threading.Thread(target=load_client, args=(i,)) for i in range(4)
+    ]
+    for t in clients:
+        t.start()
+    time.sleep(0.15)  # let load build up, then pull the plug mid-stream
+    stopper = ServiceClient("127.0.0.1", port, timeout=60, retries=2)
+    stopped = stopper.shutdown()
+    thread.join(timeout=30)
+    daemon_exited = not thread.is_alive()
+    # Close the listening socket *before* joining the clients: pending
+    # backlogged connections are reset immediately (typed at the client)
+    # instead of stalling until their socket timeout, while connections
+    # already being handled still drain to a response.
+    server.server_close()
+    for t in clients:
+        t.join()
+    service.close()
+    row = _cs_row(outcomes)
+    row["shutdown_acknowledged"] = stopped
+    row["daemon_exited"] = daemon_exited
+    row["drained_state"] = service.state
+    row["acceptable"] = (
+        row["ok_or_typed"] == 1.0
+        and row["untyped"] == 0
+        and row["hangs"] == 0
+        and stopped
+        and daemon_exited
+        and service.state == "stopped"
+    )
+    return row
+
+
+def _cs_replay_gate(quick: bool, seed: int) -> Dict[str, object]:
+    """Replay through the service, bit-compared to the scalar oracle."""
+    import numpy as np
+
+    from repro.core.compiler import AkgOptions, build
+    from repro.service.core import CompileService, ServiceRequest
+
+    builders = _serve_kernels(quick)
+    with CompileService(workers=2) as service:
+        res = service.run(
+            ServiceRequest(
+                "replay",
+                builders["matmul"](),
+                name="cs_replay",
+                seed=seed,
+                engine="auto",
+            ),
+            timeout=_CS_WAIT_SECONDS * 5,
+        )
+    if not res.ok:
+        return {"ok": False, "bit_identical": False, "error": res.error}
+    inputs = res.value["inputs"]
+    oracle = build(
+        builders["matmul"](),
+        "cs_replay_oracle",
+        options=AkgOptions(emit_trace=True),
+    )
+    expected = oracle.execute(inputs, engine="scalar")
+    served = res.value["outputs"]
+    identical = set(served) == set(expected) and all(
+        np.array_equal(served[k], expected[k]) for k in served
+    )
+    return {"ok": True, "bit_identical": identical}
+
+
+def run_chaosserve_suite(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Chaos under load: a live service at rising concurrency with
+    faults firing at the new service-level sites.
+
+    The contract every scenario enforces: **zero hangs, every response
+    ok-or-typed** — plus each scenario's own invariant (sheds carry
+    retry-after hints, the breaker trips within its threshold, the
+    supervisor requeues exactly once, the drain fulfils accepted work).
+    ``faultless`` rows measure the same workload with no faults so the
+    report can put p50/p99 with and without chaos side by side.
+    """
+    count = 16 if quick else 32
+    scenarios: Dict[str, Dict[str, object]] = {}
+    perf.reset()
+    with tempfile.TemporaryDirectory(prefix="repro-chaosserve-") as cdir:
+        diskcache.set_cache_dir(cdir)
+        try:
+            clear_solver_caches()
+            scenarios["baseline_c4"] = _cs_scenario_baseline(quick, count, 4)
+            scenarios["baseline_c8"] = _cs_scenario_baseline(quick, count, 8)
+            scenarios["dispatch_faults"] = _cs_scenario_faulted(
+                quick, count, 4, "service.dispatch"
+            )
+            scenarios["worker_faults"] = _cs_scenario_faulted(
+                quick, count, 8, "service.worker"
+            )
+            scenarios["worker_hang"] = _cs_scenario_worker_hang(
+                quick, max(count // 2, 6)
+            )
+            scenarios["poison_quarantine"] = _cs_scenario_quarantine(
+                quick, count // 2
+            )
+            scenarios["overload_shed"] = _cs_scenario_overload(quick)
+            scenarios["wire_chaos"] = _cs_scenario_wire(quick)
+            scenarios["drain_under_load"] = _cs_scenario_drain(quick)
+            replay = _cs_replay_gate(quick, seed)
+        finally:
+            diskcache.set_cache_dir(None)
+    all_ok = (
+        all(row["acceptable"] for row in scenarios.values())
+        and replay["ok"]
+        and replay["bit_identical"]
+    )
+    return {
+        **_bench_envelope("chaosserve"),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "requests_per_scenario": count,
+            "wait_seconds": _CS_WAIT_SECONDS,
+        },
+        "scenarios": scenarios,
+        "replay": replay,
+        "all_ok": all_ok,
+    }
+
+
+def _format_chaosserve_table(report: Dict[str, object]) -> str:
+    header = (
+        f"{'scenario':<20}{'reqs':>6}{'ok':>5}{'typed':>7}{'untyped':>9}"
+        f"{'hangs':>7}{'avail%':>8}{'p50 ms':>9}{'p99 ms':>9}{'verdict':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in report["scenarios"].items():
+        lines.append(
+            f"{name:<20}{row['requests']:>6}{row['ok']:>5}{row['typed']:>7}"
+            f"{row['untyped']:>9}{row['hangs']:>7}"
+            f"{100.0 * row['availability']:>8.1f}"
+            f"{row['p50_ms']:>9.1f}{row['p99_ms']:>9.1f}"
+            f"{'ok' if row['acceptable'] else 'FAIL':>9}"
+        )
+    over = report["scenarios"]["overload_shed"]
+    lines.append(
+        f"overload: {over['sheds']} sheds, hints "
+        f"{'present' if over['shed_hints_present'] else 'MISSING'}, polite "
+        f"retry succeeded after {over['honored_retry']['attempts']} attempts"
+    )
+    quarantine = report["scenarios"]["poison_quarantine"]
+    lines.append(
+        f"quarantine: tripped after "
+        f"{quarantine['poison_executed_failures']} burnt executions, "
+        f"{quarantine['poison_blocked']} blocked fast, healthy "
+        f"availability {100.0 * quarantine['healthy_availability']:.1f}%"
+    )
+    hang = report["scenarios"]["worker_hang"]
+    lines.append(
+        f"supervision: {hang['supervisor_requeues']} requeue(s), "
+        f"{hang['worker_restarts']} restart(s), "
+        f"{hang['zombie_workers']} zombie(s) parked"
+    )
+    replay = report["replay"]
+    lines.append(
+        "replay vs scalar oracle: "
+        + ("bit-identical" if replay.get("bit_identical") else "MISMATCH")
+    )
+    lines.append(f"all scenarios ok: {'yes' if report['all_ok'] else 'NO'}")
+    return "\n".join(lines)
+
+
 def _shape_kernels(quick: bool):
     """Builders for the shape-class sweep.
 
@@ -1825,6 +2465,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "serialized submission by >= 3x with warm p50 < 50ms)",
     )
     parser.add_argument(
+        "--chaos-serve", dest="chaos_serve", action="store_true",
+        help="run the chaos-under-load service benchmark instead (exit 1 "
+             "unless every scenario is 100%% ok-or-typed with zero hangs, "
+             "the poison kernel quarantines within its threshold, sheds "
+             "carry retry-after hints, and replay stays bit-identical)",
+    )
+    parser.add_argument(
         "--shapes", action="store_true",
         help="run the shape-generic compilation benchmark instead (exit "
              "1 unless the batch-size sweep compiles >= 8x fewer kernels "
@@ -1854,6 +2501,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.out = "BENCH_diskcache.json"
         elif args.chaos:
             args.out = "BENCH_chaos.json"
+        elif args.chaos_serve:
+            args.out = "BENCH_chaosserve.json"
         elif args.network:
             args.out = "BENCH_network.json"
         elif args.serve:
@@ -1886,6 +2535,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.serve:
         report = run_serve_suite(quick=args.quick, seed=args.seed)
         print(_format_serve_table(report))
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+        return 0 if report["all_ok"] else 1
+
+    if args.chaos_serve:
+        report = run_chaosserve_suite(quick=args.quick, seed=args.seed)
+        print(_format_chaosserve_table(report))
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")

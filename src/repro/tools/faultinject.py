@@ -12,14 +12,18 @@ A spec is a comma-separated list of directives::
 - ``site``   one of :data:`SITES` (``ilp.solve``, ``fm.eliminate``,
   ``sched.pluto_row``, ``tiling.auto_search``, ``fusion.posttile``,
   ``diskcache.read``, ``exec.vectorized``, ``autotune.worker``,
-  ``verify.schedule``, ``verify.sync``);
+  ``verify.schedule``, ``verify.sync``, and the service-level sites
+  ``service.dispatch``, ``service.worker``, ``service.wire``);
 - ``mode``   ``error`` (raise the site's typed error), ``delay``
   (backdate the innermost stage deadline so the next cooperative
   :func:`~repro.core.resilience.check_deadline` raises
   ``StageTimeoutError`` — models an overrun without sleeping),
   ``corrupt`` / ``truncate`` (returned by :func:`directive` for the
   cache layer to mangle entry bytes), ``crash`` (``os._exit(1)``, for
-  tuner worker-death tests — only honoured at ``autotune.worker``);
+  tuner worker-death tests — only honoured at ``autotune.worker``),
+  ``hang`` (stall the thread for :data:`HANG_SECONDS` while ignoring
+  cooperative deadlines — only honoured at ``service.worker``, for
+  worker-supervision tests);
 - ``@stage`` only fire while the named resilience stage (or a scope
   whose name starts with it) is active — e.g.
   ``ilp.solve:error@frontend.schedule`` faults scheduling ILPs but
@@ -45,6 +49,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Type
 
@@ -56,6 +61,7 @@ from repro.core.errors import (
     FusionError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SolverBudgetError,
     TilingError,
     VerificationError,
@@ -76,9 +82,18 @@ SITES: Dict[str, Type[ReproError]] = {
     "autotune.worker": ReproError,
     "verify.schedule": VerificationError,
     "verify.sync": VerificationError,
+    "service.dispatch": ServiceError,
+    "service.worker": ServiceError,
+    "service.wire": ServiceError,
 }
 
-_MODES = ("error", "delay", "corrupt", "truncate", "crash")
+_MODES = ("error", "delay", "corrupt", "truncate", "crash", "hang")
+
+#: How long a ``hang`` directive stalls its worker thread.  Long enough
+#: that any supervision watchdog (sub-second in the tests and the
+#: chaos-serve bench) fires first, short enough that an abandoned zombie
+#: thread drains away on its own in bounded time.
+HANG_SECONDS = 8.0
 
 
 class _Directive:
@@ -232,6 +247,14 @@ def fire(site: str, detail: str = "") -> None:
         return
     if d.mode == "crash" and site == "autotune.worker":
         os._exit(1)
+    if d.mode == "hang" and site == "service.worker":
+        # A stuck worker: sleep in small increments (not one long sleep,
+        # so an interpreter shutdown never waits on it) while ignoring
+        # every cooperative deadline — exactly the failure the service
+        # supervisor exists to detect.
+        end = time.monotonic() + HANG_SECONDS
+        while time.monotonic() < end:
+            time.sleep(0.05)
 
 
 def directive(site: str) -> Optional[str]:

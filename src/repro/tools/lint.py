@@ -14,6 +14,10 @@ ruff-compatible codes:
   pretends to interpolate).
 - **A001** — module/class/function binding that shadows a builtin.
 - **A002** — function argument that shadows a builtin.
+- **E722/S110** — bare ``except:`` and silent ``except ...: pass``,
+  enforced only under ``repro/service/``: the daemon's whole fault
+  model rests on every failure becoming a *typed* response, so a
+  swallowed exception there is a correctness bug, not a style nit.
 
 Usage::
 
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import ast
 import builtins
+import os
 import re
 import sys
 from pathlib import Path
@@ -171,6 +176,53 @@ def _check_shadowed_builtins(path: str, tree: ast.Module) -> List[Finding]:
     return findings
 
 
+#: Path fragment under which E722/S110 are enforced (the daemon's typed
+#: fault model makes swallowed exceptions correctness bugs there).
+_STRICT_EXCEPT_FRAGMENT = os.path.join("repro", "service") + os.sep
+
+
+def _check_silent_excepts(path: str, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "E722",
+                    "bare 'except:' forbidden in service code — catch a "
+                    "typed class and answer with a typed response",
+                )
+            )
+        body_is_silent = all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            for stmt in node.body
+        )
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        )
+        if body_is_silent and broad:
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "S110",
+                    "silently swallowed broad except in service code — "
+                    "every failure must become a typed response",
+                )
+            )
+    return findings
+
+
 def lint_file(path: Path) -> List[Finding]:
     """All findings for one Python source file."""
     source = path.read_text()
@@ -179,11 +231,14 @@ def lint_file(path: Path) -> List[Finding]:
     except SyntaxError as exc:
         return [(str(path), exc.lineno or 0, 0, "E999", f"syntax error: {exc.msg}")]
     name = str(path)
-    return (
+    findings = (
         _check_unused_imports(name, tree, source)
         + _check_fstrings(name, tree)
         + _check_shadowed_builtins(name, tree)
     )
+    if _STRICT_EXCEPT_FRAGMENT in str(path.resolve()):
+        findings += _check_silent_excepts(name, tree)
+    return findings
 
 
 def lint_paths(paths: Iterable[str]) -> List[Finding]:

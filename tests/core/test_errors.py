@@ -9,9 +9,11 @@ from repro.core.errors import (
     ExecutionFallbackError,
     FusionError,
     NetworkPlanError,
+    QuarantinedError,
     ReproError,
     SchedulingError,
     ServiceError,
+    ServiceOverloadError,
     SolverBudgetError,
     StageTimeoutError,
     TilingError,
@@ -32,6 +34,8 @@ ALL_CLASSES = (
     ExecutionFallbackError,
     NetworkPlanError,
     ServiceError,
+    ServiceOverloadError,
+    QuarantinedError,
     VerificationError,
 )
 

@@ -1,0 +1,345 @@
+"""Service-grade fault tolerance: admission control, deadlines,
+quarantine, worker supervision, ticket abandonment and graceful drain."""
+
+import time
+
+import pytest
+
+from repro.core import resilience
+from repro.core.errors import (
+    QuarantinedError,
+    ServiceError,
+    ServiceOverloadError,
+    exit_code_for,
+)
+from repro.ir import ops
+from repro.ir.tensor import placeholder
+from repro.service import CompileService, ServiceRequest
+
+
+def _matmul(m=24):
+    a = placeholder((m, m), "fp16", name="A")
+    b = placeholder((m, m), "fp16", name="B")
+    return ops.matmul(a, b, name="out")
+
+
+def _relu(shape=(16, 24)):
+    x = placeholder(shape, "fp16", name="X")
+    return ops.relu(x, name="out")
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_retry_after(self):
+        with CompileService(workers=1, queue_size=1, autostart=False) as svc:
+            held = svc.submit(ServiceRequest("compile", _matmul(16), name="q1"))
+            with pytest.raises(ServiceOverloadError) as ei:
+                svc.submit(ServiceRequest("compile", _matmul(32), name="q2"))
+            assert ei.value.retry_after > 0
+            assert exit_code_for(ei.value) == 14
+            stats = svc.stats()
+            assert stats["rejected"] == 1
+            # The shed submission left no residue: not in-flight, not
+            # counted against any client.
+            assert stats["inflight"] == 1
+            svc.start()
+            assert held.result(timeout=300).ok
+
+    def test_shed_is_still_a_service_error(self):
+        """Pre-taxonomy callers catching ServiceError keep working."""
+        with CompileService(workers=1, queue_size=1, autostart=False) as svc:
+            svc.submit(ServiceRequest("compile", _matmul(16), name="s1"))
+            with pytest.raises(ServiceError):
+                svc.submit(ServiceRequest("compile", _matmul(32), name="s2"))
+            svc.start()
+
+    def test_per_client_fairness_cap(self):
+        with CompileService(workers=1, autostart=False, max_per_client=1) as svc:
+            t1 = svc.submit(
+                ServiceRequest("compile", _matmul(16), name="fa", client_id="a")
+            )
+            with pytest.raises(ServiceOverloadError):
+                svc.submit(
+                    ServiceRequest(
+                        "compile", _matmul(32), name="fb", client_id="a"
+                    )
+                )
+            # A different client is not starved by a's cap.
+            t2 = svc.submit(
+                ServiceRequest("compile", _matmul(32), name="fb", client_id="b")
+            )
+            assert svc.stats()["client_sheds"] == 1
+            svc.start()
+            assert t1.result(timeout=300).ok
+            assert t2.result(timeout=300).ok
+            # The cap is released once the build completes.
+            t3 = svc.submit(
+                ServiceRequest("compile", _relu(), name="fc", client_id="a")
+            )
+            assert t3.result(timeout=300).ok
+
+    def test_retry_after_hint_in_stats(self):
+        with CompileService(workers=2) as svc:
+            assert svc.stats()["retry_after_hint"] > 0
+
+
+class TestDeadlines:
+    def test_expired_in_queue_fails_fast(self):
+        with CompileService(workers=1, autostart=False) as svc:
+            t = svc.submit(
+                ServiceRequest(
+                    "compile", _matmul(), name="dl", deadline_seconds=0.01
+                )
+            )
+            time.sleep(0.05)
+            svc.start()
+            res = t.result(timeout=60)
+            assert not res.ok
+            assert res.error["type"] == "StageTimeoutError"
+            assert svc.stats()["deadline_expired"] == 1
+
+    def test_deadline_clamps_stage_budget(self):
+        """The end-to-end deadline bounds every stage's budget: a stage
+        can never be granted more time than the whole request has left."""
+        svc = CompileService(workers=1, autostart=False, default_stage_seconds=120.0)
+        try:
+            req = ServiceRequest("compile", _relu(), deadline_seconds=5.0)
+            with resilience.deadline_scope(
+                "service.request", time.monotonic() + 2.0
+            ):
+                options = svc._effective_options(req)
+            assert options.budget.stage_seconds <= 2.0
+        finally:
+            svc.close()
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceRequest("compile", _relu(), deadline_seconds=0.0)
+
+    def test_generous_deadline_compiles_fine(self):
+        with CompileService(workers=1) as svc:
+            res = svc.run(
+                ServiceRequest(
+                    "compile", _relu(), name="roomy", deadline_seconds=300.0
+                ),
+                timeout=300,
+            )
+            assert res.ok
+
+
+class TestQuarantine:
+    def test_breaker_trips_blocks_and_probes(self):
+        with CompileService(
+            workers=1,
+            quarantine_threshold=2,
+            quarantine_cooldown=0.2,
+            default_stage_seconds=5.0,
+        ) as svc:
+
+            def poison():
+                return ServiceRequest(
+                    "compile",
+                    _matmul(),
+                    name="poison",
+                    fault_spec="ilp.solve:delay",
+                )
+
+            first = svc.run(poison(), timeout=300)
+            assert not first.ok
+            assert first.error["type"] == "StageTimeoutError"
+            second = svc.run(poison(), timeout=300)
+            assert not second.ok
+            # Two consecutive timeouts for this IR digest: breaker open.
+            # The clean request is blocked too — the breaker keys the
+            # *kernel*, not the fault spec.
+            with pytest.raises(QuarantinedError) as ei:
+                svc.submit(ServiceRequest("compile", _matmul(), name="poison"))
+            assert ei.value.retry_after > 0
+            assert exit_code_for(ei.value) == 15
+            stats = svc.stats()
+            assert stats["quarantine_trips"] == 1
+            assert stats["quarantine_blocked"] == 1
+            assert stats["quarantine_open"] == 1
+            # Other kernels keep compiling while one digest is poisoned.
+            healthy = svc.run(
+                ServiceRequest("compile", _relu(), name="healthy"), timeout=300
+            )
+            assert healthy.ok
+            # After the cool-down one half-open probe goes through; its
+            # success closes the breaker.
+            time.sleep(0.25)
+            probe = svc.run(
+                ServiceRequest("compile", _matmul(), name="poison"), timeout=300
+            )
+            assert probe.ok
+            stats = svc.stats()
+            assert stats["quarantine_probes"] == 1
+            assert stats["quarantine_open"] == 0
+
+    def test_deterministic_typed_errors_do_not_quarantine(self):
+        """A kernel that fails *deterministically* with a typed pipeline
+        error is the request's problem — it must not be quarantined."""
+        with CompileService(
+            workers=1, quarantine_threshold=2, default_stage_seconds=5.0
+        ) as svc:
+            for _ in range(4):
+                res = svc.run(
+                    ServiceRequest(
+                        "compile",
+                        _matmul(),
+                        name="det",
+                        fault_spec="service.dispatch:error",
+                    ),
+                    timeout=300,
+                )
+                assert not res.ok
+            stats = svc.stats()
+            assert stats["quarantine_trips"] == 0
+            assert stats["quarantine_open"] == 0
+
+
+class TestSupervision:
+    def test_stuck_worker_requeued_once_and_succeeds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "service.worker:hang#limit=1")
+        with CompileService(
+            workers=1, watchdog_seconds=0.3, supervise_interval=0.05
+        ) as svc:
+            res = svc.run(
+                ServiceRequest("compile", _relu(), name="stuck"), timeout=60
+            )
+            assert res.ok
+            stats = svc.stats()
+            assert stats["supervisor_requeues"] == 1
+            assert stats["worker_restarts"] >= 1
+            assert stats["zombie_workers"] >= 1
+            # The replacement keeps the pool at strength.
+            assert stats["live_workers"] >= 1
+
+    def test_stuck_twice_fails_typed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "service.worker:hang#limit=2")
+        with CompileService(
+            workers=1, watchdog_seconds=0.2, supervise_interval=0.05
+        ) as svc:
+            res = svc.run(
+                ServiceRequest("compile", _relu(), name="stuck2"), timeout=60
+            )
+            assert not res.ok
+            assert res.error["type"] == "StageTimeoutError"
+            assert "stuck" in res.error["message"]
+            assert svc.stats()["supervisor_requeues"] == 1
+
+    def test_healthy_requests_unsupervised_without_watchdog(self):
+        with CompileService(workers=1) as svc:
+            res = svc.run(
+                ServiceRequest("compile", _relu(), name="calm"), timeout=300
+            )
+            assert res.ok
+            stats = svc.stats()
+            assert stats["supervisor_requeues"] == 0
+            assert stats["worker_restarts"] == 0
+
+
+class TestAbandonment:
+    def test_last_abandon_cancels_queued_entry(self):
+        with CompileService(workers=1, autostart=False) as svc:
+            t1 = svc.submit(ServiceRequest("compile", _matmul(), name="ab"))
+            t2 = svc.submit(ServiceRequest("compile", _matmul(), name="ab"))
+            assert t2.coalesced
+            assert svc.stats()["inflight"] == 1
+            t1.abandon()
+            # One waiter left: the entry stays live (and visible).
+            assert svc.stats()["inflight"] == 1
+            t2.abandon()
+            # Fully abandoned: evicted, not overcounted as in-flight.
+            assert svc.stats()["inflight"] == 0
+            svc.start()
+            svc.close(wait=True)
+            assert svc.stats()["cancelled"] == 1
+
+    def test_result_timeout_abandons(self):
+        with CompileService(workers=1, autostart=False) as svc:
+            t = svc.submit(ServiceRequest("compile", _matmul(), name="to"))
+            with pytest.raises(ServiceError):
+                t.result(timeout=0.02)
+            assert svc.stats()["inflight"] == 0
+            with pytest.raises(ServiceError):
+                t.result(timeout=0.02)  # an abandoned ticket stays dead
+            svc.start()
+
+    def test_abandon_after_completion_is_noop(self):
+        with CompileService(workers=1) as svc:
+            t = svc.submit(ServiceRequest("compile", _relu(), name="late"))
+            res = t.result(timeout=300)
+            assert res.ok
+            t.abandon()
+            assert t.result(timeout=1).ok
+
+    def test_new_submission_after_cancellation_builds_fresh(self):
+        with CompileService(workers=1, autostart=False) as svc:
+            old = svc.submit(ServiceRequest("compile", _matmul(), name="re"))
+            old.abandon()
+            fresh = svc.submit(ServiceRequest("compile", _matmul(), name="re"))
+            assert not fresh.coalesced
+            svc.start()
+            assert fresh.result(timeout=300).ok
+
+
+class TestShutdownPaths:
+    def test_graceful_drain_fulfils_queued_and_inflight(self):
+        svc = CompileService(workers=2)
+        tickets = [
+            svc.submit(ServiceRequest("compile", _matmul(m), name=f"dr{m}"))
+            for m in (16, 24, 32)
+        ]
+        svc.initiate_shutdown()
+        assert svc.state in ("draining", "stopped")
+        with pytest.raises(ServiceError):
+            svc.submit(ServiceRequest("compile", _relu(), name="late"))
+        results = [t.result(timeout=300) for t in tickets]
+        assert all(r.ok for r in results)
+        svc.close(wait=True)
+        assert svc.state == "stopped"
+
+    def test_shutdown_with_inflight_coalesced_group(self):
+        svc = CompileService(workers=1, autostart=False)
+        tickets = [
+            svc.submit(ServiceRequest("compile", _matmul(), name="grp"))
+            for _ in range(5)
+        ]
+        svc.start()
+        svc.initiate_shutdown()
+        results = [t.result(timeout=300) for t in tickets]
+        assert all(r.ok for r in results)
+        assert len({r.request_id for r in results}) == 1
+        svc.close(wait=True)
+
+    def test_close_with_full_queue_fulfils_everything(self):
+        svc = CompileService(workers=1, queue_size=4, autostart=False)
+        tickets = [
+            svc.submit(
+                ServiceRequest("compile", _relu((8, 8 + 4 * i)), name=f"fq{i}")
+            )
+            for i in range(4)
+        ]
+        svc.start()
+        svc.close(wait=True)
+        results = [t.result(timeout=10) for t in tickets]
+        assert all(r.ok for r in results)
+
+    def test_unstarted_close_fails_tickets_typed(self):
+        svc = CompileService(workers=1, autostart=False)
+        t = svc.submit(ServiceRequest("compile", _matmul(), name="never"))
+        svc.close(wait=True)
+        res = t.result(timeout=5)
+        assert not res.ok
+        assert res.error["type"] == "ServiceError"
+        assert res.error["exit_code"] == 12
+        assert svc.state == "stopped"
+
+    def test_double_close_is_idempotent(self):
+        svc = CompileService(workers=1)
+        svc.close(wait=True)
+        svc.close(wait=True)
+        svc.close(wait=False)
+        assert svc.state == "stopped"
+        with pytest.raises(ServiceError):
+            svc.submit(ServiceRequest("compile", _relu(), name="dead"))
